@@ -1,0 +1,49 @@
+// Command pkgserver serves package listings over HTTP in the standardized
+// JSON format Rehearsal consumes — the counterpart of the paper's
+// portable package-listing web service (section 6), which wrapped
+// apt-file/repoquery running in containers and cached their output.
+//
+//	pkgserver -addr :8373
+//
+// Endpoints:
+//
+//	GET /v1/platforms
+//	GET /v1/{platform}/packages
+//	GET /v1/{platform}/package/{name}
+//	GET /v1/{platform}/closure/{name}
+//	GET /v1/{platform}/revdeps/{name}
+//
+// Point rehearsal at it with -pkg-server http://host:8373.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/pkgdb"
+)
+
+func main() {
+	addr := flag.String("addr", ":8373", "listen address")
+	flag.Parse()
+
+	catalog := pkgdb.DefaultCatalog()
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      logRequests(pkgdb.Handler(catalog)),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	log.Printf("pkgserver: serving %v on %s", catalog.Platforms(), *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,232 @@
+// Command rehearsal verifies Puppet manifests: it checks determinism
+// (section 4), idempotence (section 5) and optional file invariants, and
+// can dump the compiled resource graph.
+//
+// Usage:
+//
+//	rehearsal [flags] manifest.pp
+//
+// Typical runs:
+//
+//	rehearsal site.pp
+//	rehearsal -platform centos -timeout 2m site.pp
+//	rehearsal -invariant /etc/motd=welcome site.pp
+//	rehearsal -dot site.pp > graph.dot
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/pkgdb"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fl := flag.NewFlagSet("rehearsal", flag.ContinueOnError)
+	platform := fl.String("platform", "ubuntu", "target platform (ubuntu or centos); selects facts and the package catalog")
+	timeout := fl.Duration("timeout", 10*time.Minute, "per-check timeout (the paper's benchmark limit)")
+	pkgServer := fl.String("pkg-server", "", "base URL of a package-listing service (default: built-in catalog)")
+	nodeName := fl.String("node", "default", "node name for node-block selection")
+	allPlatforms := fl.Bool("all-platforms", false, "re-verify the manifest for every supported platform (paper section 8)")
+	noCommut := fl.Bool("no-commutativity", false, "disable commutativity-based partial-order reduction (section 4.3)")
+	noElim := fl.Bool("no-elimination", false, "disable resource elimination (section 4.4)")
+	noPrune := fl.Bool("no-pruning", false, "disable path pruning (section 4.4)")
+	semCommute := fl.Bool("semantic-commute", false, "strengthen the commutativity check with solver-based pairwise equivalence (helps overlapping package closures)")
+	wellFormed := fl.Bool("well-formed-init", false, "restrict initial states to well-formed filesystem trees (realizable machines)")
+	skipIdem := fl.Bool("skip-idempotence", false, "only check determinism")
+	invariant := fl.String("invariant", "", "check a file invariant, formatted path=content")
+	dot := fl.Bool("dot", false, "print the resource graph in Graphviz format and exit")
+	suggest := fl.Bool("suggest", false, "on non-determinism, search for missing dependencies that repair the manifest")
+	verbose := fl.Bool("v", false, "print analysis statistics")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if fl.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rehearsal [flags] manifest.pp")
+		fl.PrintDefaults()
+		return 2
+	}
+
+	src, err := os.ReadFile(fl.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+		return 2
+	}
+
+	opts := core.DefaultOptions()
+	opts.Platform = *platform
+	opts.NodeName = *nodeName
+	opts.Timeout = *timeout
+	opts.Commutativity = !*noCommut
+	opts.Elimination = !*noElim
+	opts.Pruning = !*noPrune
+	opts.SemanticCommute = *semCommute
+	opts.WellFormedInit = *wellFormed
+	if *pkgServer != "" {
+		opts.Provider = pkgdb.NewClient(*pkgServer, nil)
+	}
+
+	if *allPlatforms {
+		// The paper notes the analysis is platform-dependent and suggests
+		// re-verifying per platform (section 8).
+		worst := 0
+		for _, plat := range []string{"ubuntu", "centos"} {
+			perPlat := opts
+			perPlat.Platform = plat
+			perPlat.Provider = nil // reset any client bound to one catalog
+			if *pkgServer != "" {
+				perPlat.Provider = pkgdb.NewClient(*pkgServer, nil)
+			}
+			fmt.Printf("=== platform %s ===\n", plat)
+			code := verifyOne(fl.Arg(0), string(src), perPlat, *dot, *verbose, *skipIdem, *suggest, *invariant)
+			if code > worst {
+				worst = code
+			}
+		}
+		return worst
+	}
+	return verifyOne(fl.Arg(0), string(src), opts, *dot, *verbose, *skipIdem, *suggest, *invariant)
+}
+
+// verifyOne loads and verifies the manifest under one option set,
+// printing results; it returns the process exit code.
+func verifyOne(path, src string, opts core.Options, dot, verbose, skipIdem, suggest bool, invariant string) int {
+	sys, err := core.Load(src, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+		return 1
+	}
+	if dot {
+		fmt.Print(sys.Dot())
+		return 0
+	}
+	fmt.Printf("loaded %d resources from %s (platform %s)\n", sys.Size(), path, opts.Platform)
+
+	res, err := sys.CheckDeterminism()
+	if errors.Is(err, core.ErrTimeout) {
+		fmt.Println("determinism: TIMEOUT")
+		return 3
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+		return 1
+	}
+	if verbose {
+		fmt.Printf("  resources=%d eliminated=%d pruned-paths=%d paths=%d/%d sequences=%d time=%v\n",
+			res.Stats.Resources, res.Stats.Eliminated, res.Stats.PrunedPaths,
+			res.Stats.Paths, res.Stats.TotalPaths, res.Stats.Sequences, res.Stats.Duration.Round(time.Millisecond))
+	}
+	if !res.Deterministic {
+		fmt.Println("determinism: FAIL — the manifest is non-deterministic")
+		printCounterexample(res.Counterexample)
+		if suggest {
+			repair, err := sys.SuggestRepair()
+			switch {
+			case err != nil:
+				fmt.Printf("  no repair found: %v\n", err)
+			case repair != nil:
+				fmt.Println("  suggested dependencies:")
+				for _, e := range repair.Edges {
+					fmt.Printf("    %s\n", e)
+				}
+			}
+		}
+		return 1
+	}
+	fmt.Println("determinism: OK")
+
+	exitCode := 0
+	if !skipIdem {
+		idem, err := sys.CheckIdempotence()
+		if errors.Is(err, core.ErrTimeout) {
+			fmt.Println("idempotence: TIMEOUT")
+			return 3
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+			return 1
+		}
+		if idem.Idempotent {
+			fmt.Println("idempotence: OK")
+		} else {
+			fmt.Println("idempotence: FAIL — applying the manifest twice differs from once")
+			fmt.Printf("  %s\n", strings.ReplaceAll(idem.Counterexample.String(), "\n", "\n  "))
+			exitCode = 1
+		}
+	}
+
+	if invariant != "" {
+		path, content, ok := strings.Cut(invariant, "=")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "rehearsal: -invariant must be path=content")
+			return 2
+		}
+		inv, err := sys.CheckFileInvariant(fs.ParsePath(path), content)
+		if errors.Is(err, core.ErrTimeout) {
+			fmt.Println("invariant: TIMEOUT")
+			return 3
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+			return 1
+		}
+		if inv.Holds {
+			fmt.Printf("invariant %s: OK\n", invariant)
+		} else {
+			fmt.Printf("invariant %s: FAIL\n", invariant)
+			fmt.Printf("  violated from initial state %s\n", fs.StateString(inv.Input))
+			exitCode = 1
+		}
+	}
+	return exitCode
+}
+
+func printCounterexample(cex *core.Counterexample) {
+	if cex == nil {
+		return
+	}
+	fmt.Printf("  initial state: %s\n", fs.StateString(cex.Input))
+	fmt.Printf("  order A: %s\n", strings.Join(cex.Order1, ", "))
+	fmt.Printf("    outcome: %s\n", outcome(cex.Ok1, cex.Out1))
+	fmt.Printf("  order B: %s\n", strings.Join(cex.Order2, ", "))
+	fmt.Printf("    outcome: %s\n", outcome(cex.Ok2, cex.Out2))
+	if cex.Ok1 && cex.Ok2 {
+		fmt.Printf("  differing paths: %s\n", strings.Join(diffPaths(cex.Out1, cex.Out2), ", "))
+	}
+}
+
+func outcome(ok bool, st fs.State) string {
+	if !ok {
+		return "error"
+	}
+	return fs.StateString(st)
+}
+
+func diffPaths(a, b fs.State) []string {
+	var out []string
+	seen := map[fs.Path]bool{}
+	for p, c := range a {
+		seen[p] = true
+		if oc, ok := b[p]; !ok || oc != c {
+			out = append(out, string(p))
+		}
+	}
+	for p := range b {
+		if !seen[p] {
+			out = append(out, string(p))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

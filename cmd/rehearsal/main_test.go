@@ -1,0 +1,244 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run with the given args, capturing stdout.
+func runCapture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(args)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out)
+}
+
+func writeManifest(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "site.pp")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const okManifest = `
+package {'ntp': ensure => present }
+file {'/etc/ntp.conf': content => 'server pool.ntp.org', require => Package['ntp'] }
+`
+
+const buggyManifest = `
+package {'ntp': ensure => present }
+file {'/etc/ntp.conf': content => 'server pool.ntp.org' }
+`
+
+func TestVerifyOK(t *testing.T) {
+	code, out := runCapture(t, writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	for _, want := range []string{"determinism: OK", "idempotence: OK", "loaded 2 resources"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerifyNondeterministic(t *testing.T) {
+	code, out := runCapture(t, writeManifest(t, buggyManifest))
+	if code != 1 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	for _, want := range []string{"determinism: FAIL", "order A", "order B", "initial state"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVerboseStats(t *testing.T) {
+	code, out := runCapture(t, "-v", writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "resources=2") || !strings.Contains(out, "sequences=") {
+		t.Errorf("missing stats in:\n%s", out)
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	code, out := runCapture(t, "-dot", writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "Package[ntp]") {
+		t.Errorf("dot output:\n%s", out)
+	}
+}
+
+func TestInvariantFlag(t *testing.T) {
+	code, out := runCapture(t,
+		"-invariant", "/etc/ntp.conf=server pool.ntp.org",
+		writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "invariant /etc/ntp.conf=server pool.ntp.org: OK") {
+		t.Errorf("missing invariant result:\n%s", out)
+	}
+	// A violated invariant exits nonzero.
+	code, out = runCapture(t,
+		"-invariant", "/etc/ntp.conf=some other content",
+		writeManifest(t, okManifest))
+	if code != 1 || !strings.Contains(out, "FAIL") {
+		t.Errorf("violated invariant: exit %d output:\n%s", code, out)
+	}
+	// Malformed invariant flag.
+	code, _ = runCapture(t, "-invariant", "missing-equals", writeManifest(t, okManifest))
+	if code != 2 {
+		t.Errorf("malformed invariant: exit %d", code)
+	}
+}
+
+func TestSkipIdempotence(t *testing.T) {
+	code, out := runCapture(t, "-skip-idempotence", writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out, "idempotence") {
+		t.Errorf("idempotence should be skipped:\n%s", out)
+	}
+}
+
+func TestPlatformFlag(t *testing.T) {
+	src := `
+case $operatingsystem {
+  'Ubuntu': { package {'apache2': } }
+  'CentOS': { package {'httpd': } }
+}
+`
+	code, out := runCapture(t, "-platform", "centos", "-dot", writeManifest(t, src))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "Package[httpd]") || strings.Contains(out, "apache2") {
+		t.Errorf("platform dispatch wrong:\n%s", out)
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	code, out := runCapture(t,
+		"-no-commutativity", "-no-elimination", "-no-pruning", "-v",
+		writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "eliminated=0") {
+		t.Errorf("elimination should be off:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _ := runCapture(t); code != 2 {
+		t.Errorf("no args: exit %d", code)
+	}
+	if code, _ := runCapture(t, "/nonexistent/manifest.pp"); code != 2 {
+		t.Errorf("missing file: exit %d", code)
+	}
+	bad := writeManifest(t, "package {")
+	if code, _ := runCapture(t, bad); code != 1 {
+		t.Errorf("parse error: expected exit 1")
+	}
+	cyclic := writeManifest(t, `
+package {'m4': }
+package {'make': }
+Package['m4'] -> Package['make']
+Package['make'] -> Package['m4']
+`)
+	code, out := runCapture(t, cyclic)
+	if code != 1 {
+		t.Errorf("cycle: exit %d", code)
+	}
+	_ = out
+}
+
+func TestNodeFlag(t *testing.T) {
+	src := `
+node 'web01' { package {'nginx': } }
+node default { package {'generic': } }
+`
+	code, out := runCapture(t, "-node", "web01", "-dot", writeManifest(t, src))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "Package[nginx]") || strings.Contains(out, "generic") {
+		t.Errorf("node selection wrong:\n%s", out)
+	}
+}
+
+func TestAllPlatforms(t *testing.T) {
+	src := `
+case $operatingsystem {
+  'Ubuntu': { package {'apache2': ensure => present } }
+  'CentOS': { package {'httpd': ensure => present } }
+}
+`
+	code, out := runCapture(t, "-all-platforms", writeManifest(t, src))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	for _, want := range []string{"=== platform ubuntu ===", "=== platform centos ==="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "determinism: OK") != 2 {
+		t.Errorf("expected two verdicts:\n%s", out)
+	}
+	// A manifest that is fine on ubuntu but references a package missing
+	// on centos fails only there.
+	code, out = runCapture(t, "-all-platforms", writeManifest(t, `package {'golang-go': }`))
+	if code == 0 {
+		t.Fatalf("exit %d should be nonzero (golang-go unknown on centos):\n%s", code, out)
+	}
+}
+
+func TestSuggestRepair(t *testing.T) {
+	code, out := runCapture(t, "-suggest", writeManifest(t, buggyManifest))
+	if code != 1 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "suggested dependencies:") ||
+		!strings.Contains(out, "Package[ntp] -> File[/etc/ntp.conf]") {
+		t.Errorf("missing suggestion:\n%s", out)
+	}
+}
+
+func TestNonIdempotentManifest(t *testing.T) {
+	src := `
+file {'/dst': source => '/src' }
+file {'/src': ensure => absent }
+File['/dst'] -> File['/src']
+`
+	code, out := runCapture(t, writeManifest(t, src))
+	if code != 1 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "determinism: OK") || !strings.Contains(out, "idempotence: FAIL") {
+		t.Errorf("fig 3d output:\n%s", out)
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Rehearsal: A
+// Configuration Verification Tool for Puppet" (Shambaugh, Weiss, Guha —
+// PLDI 2016): a sound, complete and scalable determinacy analysis for
+// Puppet manifests, plus idempotence and invariant checking built on it.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the command-line tools under cmd/, runnable examples under
+// examples/, and the benchmark harness regenerating every figure of the
+// paper's evaluation in bench_test.go and cmd/experiments.
+package repro

@@ -1,0 +1,73 @@
+// Quickstart: load a small Puppet manifest, check determinism and
+// idempotence, and print the counterexample for the buggy variant — the
+// intro example of the paper (section 1).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+)
+
+const buggy = `
+package{'vim': ensure => present }
+file{'/home/carol/.vimrc': content => 'syntax on' }
+user{'carol': ensure => present, managehome => true }
+`
+
+const fixed = buggy + `
+User['carol'] -> File['/home/carol/.vimrc']
+`
+
+func main() {
+	fmt.Println("--- buggy manifest (no dependency between user and file) ---")
+	verify(buggy)
+	fmt.Println()
+	fmt.Println("--- fixed manifest (User['carol'] -> File['.vimrc']) ---")
+	verify(fixed)
+}
+
+func verify(src string) {
+	sys, err := core.Load(src, core.DefaultOptions())
+	if err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	fmt.Printf("resources: %s\n", strings.Join(sys.ResourceNames(), ", "))
+
+	det, err := sys.CheckDeterminism()
+	if err != nil {
+		log.Fatalf("determinism: %v", err)
+	}
+	if det.Deterministic {
+		fmt.Println("determinism: OK")
+	} else {
+		cex := det.Counterexample
+		fmt.Println("determinism: FAIL")
+		fmt.Printf("  from initial state %s:\n", fs.StateString(cex.Input))
+		fmt.Printf("  order %v -> %s\n", cex.Order1, outcome(cex.Ok1))
+		fmt.Printf("  order %v -> %s\n", cex.Order2, outcome(cex.Ok2))
+		return
+	}
+
+	idem, err := sys.CheckIdempotence()
+	if err != nil {
+		log.Fatalf("idempotence: %v", err)
+	}
+	if idem.Idempotent {
+		fmt.Println("idempotence: OK")
+	} else {
+		fmt.Printf("idempotence: FAIL\n  %s\n", idem.Counterexample)
+	}
+}
+
+func outcome(ok bool) string {
+	if ok {
+		return "success"
+	}
+	return "error"
+}

@@ -1,0 +1,109 @@
+// Package benchmarks embeds the third-party benchmark suite of section 6:
+// thirteen Puppet configurations of the same names, sizes and bug classes
+// as the GitHub/Puppet Forge manifests the paper evaluates — six with
+// determinism bugs — plus the fixed variants the authors verified
+// deterministic and idempotent (see DESIGN.md for the substitution
+// rationale).
+package benchmarks
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed manifests/*.pp
+var manifestFS embed.FS
+
+// Benchmark is one manifest of the suite.
+type Benchmark struct {
+	// Name as reported in figure 11 (e.g. "ntp-nondet").
+	Name string
+	// Source is the Puppet manifest text.
+	Source string
+	// Deterministic is the manually-verified expected verdict.
+	Deterministic bool
+	// FixedName names the repaired variant for the non-deterministic
+	// benchmarks; empty otherwise.
+	FixedName string
+}
+
+// All returns the thirteen benchmarks in the order of figure 11.
+func All() []Benchmark {
+	names := []string{
+		"amavis", "bind", "clamav", "dns-nondet", "hosting", "irc-nondet",
+		"jpa", "logstash-nondet", "monit", "nginx", "ntp-nondet",
+		"rsyslog-nondet", "xinetd-nondet",
+	}
+	out := make([]Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := Get(n)
+		if err != nil {
+			panic(err) // embedded files are fixed at build time
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Fixed returns the six repaired variants.
+func Fixed() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if b.FixedName == "" {
+			continue
+		}
+		f, err := Get(b.FixedName)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Verified returns the seven deterministic originals plus the six fixed
+// variants — the thirteen configurations figure 12's idempotence run uses.
+func Verified() []Benchmark {
+	var out []Benchmark
+	for _, b := range All() {
+		if b.Deterministic {
+			out = append(out, b)
+		}
+	}
+	out = append(out, Fixed()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get loads one benchmark by name.
+func Get(name string) (Benchmark, error) {
+	data, err := manifestFS.ReadFile("manifests/" + name + ".pp")
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchmarks: unknown benchmark %q", name)
+	}
+	b := Benchmark{
+		Name:          name,
+		Source:        string(data),
+		Deterministic: !strings.HasSuffix(name, "-nondet"),
+	}
+	if !b.Deterministic {
+		b.FixedName = strings.TrimSuffix(name, "-nondet") + "-fixed"
+	}
+	return b, nil
+}
+
+// Names returns every embedded manifest name (originals and fixed).
+func Names() []string {
+	entries, err := manifestFS.ReadDir("manifests")
+	if err != nil {
+		panic(err)
+	}
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".pp"))
+	}
+	sort.Strings(out)
+	return out
+}

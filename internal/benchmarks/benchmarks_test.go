@@ -1,0 +1,111 @@
+package benchmarks
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestInventory(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("suite has %d benchmarks, want 13", len(all))
+	}
+	nondet := 0
+	for _, b := range all {
+		if !b.Deterministic {
+			nondet++
+			if b.FixedName == "" {
+				t.Errorf("%s has no fixed variant", b.Name)
+			}
+		}
+	}
+	if nondet != 6 {
+		t.Errorf("suite has %d non-deterministic benchmarks, want 6 (section 6)", nondet)
+	}
+	if len(Fixed()) != 6 {
+		t.Errorf("Fixed() = %d, want 6", len(Fixed()))
+	}
+	if len(Verified()) != 13 {
+		t.Errorf("Verified() = %d, want 13", len(Verified()))
+	}
+	if len(Names()) != 19 {
+		t.Errorf("Names() = %d, want 19", len(Names()))
+	}
+	if _, err := Get("no-such"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestSuiteVerdicts reproduces the paper's headline result (section 6,
+// "Bugs found"): Rehearsal flags exactly the six buggy benchmarks, and
+// each fix verifies as deterministic AND idempotent.
+func TestSuiteVerdicts(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Timeout = 2 * time.Minute
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			s, err := core.Load(b.Source, opts)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			res, err := s.CheckDeterminism()
+			if err != nil {
+				t.Fatalf("determinism: %v", err)
+			}
+			if res.Deterministic != b.Deterministic {
+				if res.Counterexample != nil {
+					t.Logf("orders:\n  %v\n  %v", res.Counterexample.Order1, res.Counterexample.Order2)
+				}
+				t.Fatalf("verdict %v, want %v", res.Deterministic, b.Deterministic)
+			}
+			if !b.Deterministic {
+				if res.Counterexample == nil {
+					t.Fatal("non-deterministic without counterexample")
+				}
+				// And the fix must verify.
+				fixed, err := Get(b.FixedName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs, err := core.Load(fixed.Source, opts)
+				if err != nil {
+					t.Fatalf("load fixed: %v", err)
+				}
+				fres, err := fs.CheckDeterminism()
+				if err != nil {
+					t.Fatalf("fixed determinism: %v", err)
+				}
+				if !fres.Deterministic {
+					t.Fatalf("fix does not verify: orders\n  %v\n  %v",
+						fres.Counterexample.Order1, fres.Counterexample.Order2)
+				}
+			}
+		})
+	}
+}
+
+// TestVerifiedIdempotent reproduces figure 12's precondition: every
+// verified (deterministic or fixed) benchmark is idempotent.
+func TestVerifiedIdempotent(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Timeout = 2 * time.Minute
+	for _, b := range Verified() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			s, err := core.Load(b.Source, opts)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			res, err := s.CheckIdempotence()
+			if err != nil {
+				t.Fatalf("idempotence: %v", err)
+			}
+			if !res.Idempotent {
+				t.Fatalf("not idempotent:\n%s", res.Counterexample)
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+# amavis: mail content filter with spam/virus scanning.
+# Deterministic: every configuration file requires its package and the
+# service is ordered after the configuration.
+class amavis {
+  package { 'amavisd-new':
+    ensure => present,
+  }
+  package { 'postfix':
+    ensure => present,
+  }
+
+  File {
+    owner => 'root',
+    mode  => '0644',
+  }
+
+  file { '/etc/amavis/conf.d/05-node_id':
+    content => "use strict;\n\$myhostname = \"mail.example.com\";\n1;\n",
+    require => Package['amavisd-new'],
+  }
+  file { '/etc/amavis/conf.d/50-user':
+    content => "use strict;\n\$sa_tag_level_deflt = 2.0;\n1;\n",
+    require => Package['amavisd-new'],
+  }
+  file { '/etc/postfix/main.cf':
+    content => "content_filter = smtp-amavis:[127.0.0.1]:10024\n",
+    require => Package['postfix'],
+  }
+
+  service { 'amavis':
+    ensure  => running,
+    require => [File['/etc/amavis/conf.d/05-node_id'],
+                File['/etc/amavis/conf.d/50-user']],
+  }
+  service { 'postfix':
+    ensure  => running,
+    require => File['/etc/postfix/main.cf'],
+  }
+
+  cron { 'sa-update':
+    command => '/usr/bin/sa-learn --sync',
+    hour    => '2',
+    minute  => '15',
+    require => Package['amavisd-new'],
+  }
+}
+
+include amavis

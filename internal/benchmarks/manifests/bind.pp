@@ -1,0 +1,37 @@
+# bind: authoritative DNS server with one managed zone.
+# Deterministic: configuration requires the package, the service follows
+# the configuration, host entries are independent.
+class bind {
+  package { 'bind9':
+    ensure => present,
+  }
+
+  file { '/etc/bind/named.conf.options':
+    content => "options { directory \"/var/cache/bind\"; recursion no; };\n",
+    require => Package['bind9'],
+  }
+  file { '/etc/bind/named.conf.local':
+    content => "zone \"example.com\" { type master; file \"/etc/bind/db.example.com\"; };\n",
+    require => Package['bind9'],
+  }
+  file { '/etc/bind/db.example.com':
+    content => "\$TTL 604800\n@ IN SOA ns1.example.com. admin.example.com. ( 3 604800 86400 2419200 604800 )\n",
+    require => Package['bind9'],
+  }
+
+  service { 'bind9':
+    ensure    => running,
+    subscribe => [File['/etc/bind/named.conf.options'],
+                  File['/etc/bind/named.conf.local'],
+                  File['/etc/bind/db.example.com']],
+  }
+}
+
+host { 'ns1.example.com':
+  ip => '192.0.2.1',
+}
+host { 'ns2.example.com':
+  ip => '192.0.2.2',
+}
+
+include bind

@@ -1,0 +1,37 @@
+# clamav: antivirus scanner with a dedicated system user and signature
+# update cron job. Deterministic.
+class clamav {
+  package { 'clamav':
+    ensure => present,
+  }
+
+  user { 'clamav':
+    ensure     => present,
+    home       => '/var/lib/clamav',
+    managehome => true,
+    shell      => '/bin/false',
+  }
+
+  file { '/etc/clamav/clamd.conf':
+    content => "LocalSocket /var/run/clamav/clamd.ctl\nUser clamav\n",
+    require => [Package['clamav'], User['clamav']],
+  }
+  file { '/etc/clamav/freshclam.conf':
+    content => "DatabaseOwner clamav\nChecks 24\n",
+    require => [Package['clamav'], User['clamav']],
+  }
+
+  service { 'clamav-daemon':
+    ensure  => running,
+    require => File['/etc/clamav/clamd.conf'],
+  }
+
+  cron { 'freshclam':
+    command => '/usr/bin/freshclam --quiet',
+    user    => 'clamav',
+    minute  => '47',
+    require => [File['/etc/clamav/freshclam.conf'], User['clamav']],
+  }
+}
+
+include clamav

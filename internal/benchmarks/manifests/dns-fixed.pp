@@ -1,0 +1,24 @@
+# dns-fixed: the dns-nondet benchmark with the missing package
+# dependencies restored; deterministic and idempotent.
+class dns {
+  package { 'bind9':
+    ensure => present,
+  }
+
+  file { '/etc/bind/named.conf.options':
+    content => "options { forwarders { 8.8.8.8; 8.8.4.4; }; recursion yes; };\n",
+    require => Package['bind9'],
+  }
+  file { '/etc/bind/zones.rfc1918':
+    content => "zone \"10.in-addr.arpa\" { type master; file \"/etc/bind/db.empty\"; };\n",
+    require => Package['bind9'],
+  }
+
+  service { 'bind9':
+    ensure  => running,
+    require => [File['/etc/bind/named.conf.options'],
+                File['/etc/bind/zones.rfc1918']],
+  }
+}
+
+include dns

@@ -1,0 +1,26 @@
+# dns-nondet: caching resolver configuration.
+# BUG: the zone file and the forwarders configuration never declare a
+# dependency on the bind9 package, so Puppet may create them before the
+# package has created /etc/bind — a non-deterministic error.
+class dns {
+  package { 'bind9':
+    ensure => present,
+  }
+
+  file { '/etc/bind/named.conf.options':
+    content => "options { forwarders { 8.8.8.8; 8.8.4.4; }; recursion yes; };\n",
+    # require => Package['bind9'],   # <-- omitted
+  }
+  file { '/etc/bind/zones.rfc1918':
+    content => "zone \"10.in-addr.arpa\" { type master; file \"/etc/bind/db.empty\"; };\n",
+    # require => Package['bind9'],   # <-- omitted
+  }
+
+  service { 'bind9':
+    ensure  => running,
+    require => [File['/etc/bind/named.conf.options'],
+                File['/etc/bind/zones.rfc1918']],
+  }
+}
+
+include dns

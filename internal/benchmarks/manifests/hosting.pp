@@ -1,0 +1,83 @@
+# hosting: shared web hosting node — LAMP stack, per-site virtual hosts,
+# shell accounts with SSH keys. The largest benchmark. Deterministic.
+class lamp {
+  package { 'apache2':
+    ensure => present,
+  }
+  package { 'mysql-server':
+    ensure => present,
+  }
+  package { 'php5':
+    ensure => present,
+  }
+
+  file { '/etc/apache2/ports.conf':
+    content => "Listen 80\nListen 443\n",
+    require => Package['apache2'],
+  }
+  file { '/etc/mysql/my.cnf':
+    content => "[mysqld]\nbind-address = 127.0.0.1\n",
+    require => Package['mysql-server'],
+  }
+  file { '/etc/php5/cli/php.ini':
+    content => "memory_limit = 128M\n",
+    require => Package['php5'],
+  }
+
+  service { 'apache2':
+    ensure    => running,
+    subscribe => File['/etc/apache2/ports.conf'],
+    require   => Package['php5'],
+  }
+  service { 'mysql':
+    ensure    => running,
+    subscribe => File['/etc/mysql/my.cnf'],
+  }
+}
+
+define vhost($docroot, $server_admin = 'webmaster@example.com') {
+  file { "/etc/apache2/sites-available/${title}.conf":
+    content => "<VirtualHost *:80>\n  ServerName ${title}\n  DocumentRoot ${docroot}\n  ServerAdmin ${server_admin}\n</VirtualHost>\n",
+    require => Package['apache2'],
+    notify  => Service['apache2'],
+  }
+}
+
+define account($key) {
+  user { $title:
+    ensure     => present,
+    managehome => true,
+  }
+  ssh_authorized_key { "${title}@hosting":
+    user    => $title,
+    type    => 'ssh-rsa',
+    key     => $key,
+    require => User[$title],
+  }
+}
+
+class sites {
+  vhost { 'blog.example.com':
+    docroot => '/srv/www/blog',
+  }
+  vhost { 'shop.example.com':
+    docroot => '/srv/www/shop',
+  }
+  vhost { 'wiki.example.com':
+    docroot => '/srv/www/wiki',
+  }
+
+  account { 'alice':
+    key => 'AAAAB3NzaC1yc2EAAAADAQABAAABAQC0alice',
+  }
+  account { 'bob':
+    key => 'AAAAB3NzaC1yc2EAAAADAQABAAABAQC0bob',
+  }
+
+  group { 'www-data':
+    ensure => present,
+  }
+}
+
+include lamp
+include sites

@@ -1,0 +1,30 @@
+# irc-fixed: the irc-nondet benchmark with the user dependency restored;
+# deterministic and idempotent.
+class irc {
+  package { 'ngircd':
+    ensure => present,
+  }
+
+  file { '/etc/ngircd/ngircd.conf':
+    content => "[Global]\nName = irc.example.com\nInfo = Example IRC\n",
+    require => Package['ngircd'],
+  }
+
+  service { 'ngircd':
+    ensure    => running,
+    subscribe => File['/etc/ngircd/ngircd.conf'],
+  }
+
+  user { 'ircop':
+    ensure     => present,
+    managehome => true,
+  }
+  ssh_authorized_key { 'ircop@admin':
+    user    => 'ircop',
+    type    => 'ssh-rsa',
+    key     => 'AAAAB3NzaC1yc2EAAAADAQABAAABAQC0ircop',
+    require => User['ircop'],
+  }
+}
+
+include irc

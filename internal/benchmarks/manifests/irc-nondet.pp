@@ -1,0 +1,33 @@
+# irc-nondet: IRC server with an operator account.
+# BUG: the operator's SSH key never declares a dependency on the user
+# account, so Puppet may try to install the key before the account (and
+# its home directory) exists — the user/key bug class the paper reports
+# finding in its evaluation.
+class irc {
+  package { 'ngircd':
+    ensure => present,
+  }
+
+  file { '/etc/ngircd/ngircd.conf':
+    content => "[Global]\nName = irc.example.com\nInfo = Example IRC\n",
+    require => Package['ngircd'],
+  }
+
+  service { 'ngircd':
+    ensure    => running,
+    subscribe => File['/etc/ngircd/ngircd.conf'],
+  }
+
+  user { 'ircop':
+    ensure     => present,
+    managehome => true,
+  }
+  ssh_authorized_key { 'ircop@admin':
+    user => 'ircop',
+    type => 'ssh-rsa',
+    key  => 'AAAAB3NzaC1yc2EAAAADAQABAAABAQC0ircop',
+    # require => User['ircop'],   # <-- omitted
+  }
+}
+
+include irc

@@ -1,0 +1,36 @@
+# jpa: Java web application on Tomcat (a JPA/Hibernate deployment).
+# Deterministic: the servlet container configuration requires the package
+# and the application user owns the deployment directory.
+class jpa {
+  package { 'tomcat7':
+    ensure => present,
+  }
+
+  user { 'tomcat':
+    ensure     => present,
+    home       => '/srv/tomcat',
+    managehome => true,
+    shell      => '/bin/false',
+  }
+
+  file { '/etc/tomcat7/server.xml':
+    content => "<Server port=\"8005\" shutdown=\"SHUTDOWN\">\n  <Connector port=\"8080\"/>\n</Server>\n",
+    require => Package['tomcat7'],
+  }
+  file { '/etc/tomcat7/context.xml':
+    content => "<Context>\n  <Resource name=\"jdbc/AppDB\" type=\"javax.sql.DataSource\"/>\n</Context>\n",
+    require => Package['tomcat7'],
+  }
+  file { '/srv/tomcat/app.properties':
+    content => "hibernate.dialect=org.hibernate.dialect.MySQLDialect\n",
+    require => User['tomcat'],
+  }
+
+  service { 'tomcat7':
+    ensure    => running,
+    subscribe => [File['/etc/tomcat7/server.xml'], File['/etc/tomcat7/context.xml']],
+    require   => [User['tomcat'], File['/srv/tomcat/app.properties']],
+  }
+}
+
+include jpa

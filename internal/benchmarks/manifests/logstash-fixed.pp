@@ -1,0 +1,26 @@
+# logstash-fixed: the logstash-nondet benchmark with the package
+# dependency restored; deterministic and idempotent.
+class logstash {
+  package { 'logstash':
+    ensure => present,
+  }
+
+  file { '/etc/logstash/conf.d/pipeline.conf':
+    content => "input { syslog { port => 5514 } }\noutput { stdout {} }\n",
+    require => Package['logstash'],
+  }
+
+  service { 'logstash':
+    ensure    => running,
+    subscribe => File['/etc/logstash/conf.d/pipeline.conf'],
+    require   => Package['logstash'],
+  }
+
+  cron { 'logstash-rotate':
+    command => '/usr/sbin/logrotate /etc/logrotate.d/logstash',
+    hour    => '1',
+    minute  => '30',
+  }
+}
+
+include logstash

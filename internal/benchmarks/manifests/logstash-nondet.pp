@@ -1,0 +1,27 @@
+# logstash-nondet: log aggregation pipeline.
+# BUG: the pipeline configuration is dropped into /etc/logstash/conf.d
+# without requiring the logstash package that creates the directory.
+class logstash {
+  package { 'logstash':
+    ensure => present,
+  }
+
+  file { '/etc/logstash/conf.d/pipeline.conf':
+    content => "input { syslog { port => 5514 } }\noutput { stdout {} }\n",
+    # require => Package['logstash'],   # <-- omitted
+  }
+
+  service { 'logstash':
+    ensure    => running,
+    subscribe => File['/etc/logstash/conf.d/pipeline.conf'],
+    require   => Package['logstash'],
+  }
+
+  cron { 'logstash-rotate':
+    command => '/usr/sbin/logrotate /etc/logrotate.d/logstash',
+    hour    => '1',
+    minute  => '30',
+  }
+}
+
+include logstash

@@ -1,0 +1,26 @@
+# monit: process supervision. Deterministic.
+class monit {
+  package { 'monit':
+    ensure => present,
+  }
+
+  file { '/etc/monit/monitrc':
+    content => "set daemon 120\nset httpd port 2812 allow localhost\n",
+    mode    => '0600',
+    require => Package['monit'],
+  }
+
+  service { 'monit':
+    ensure    => running,
+    subscribe => File['/etc/monit/monitrc'],
+  }
+
+  cron { 'monit-summary':
+    command => '/usr/bin/monit summary',
+    hour    => '8',
+    minute  => '5',
+    require => Service['monit'],
+  }
+}
+
+include monit

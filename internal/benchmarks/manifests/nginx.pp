@@ -1,0 +1,42 @@
+# nginx: web server with two virtual hosts built from a defined type.
+# Deterministic.
+class nginx {
+  package { 'nginx':
+    ensure => present,
+  }
+
+  File {
+    owner => 'root',
+    mode  => '0644',
+  }
+
+  file { '/etc/nginx/nginx.conf':
+    content => "user www-data;\nworker_processes 4;\nhttp { include /etc/nginx/sites-available/*; }\n",
+    require => Package['nginx'],
+  }
+
+  service { 'nginx':
+    ensure    => running,
+    subscribe => File['/etc/nginx/nginx.conf'],
+  }
+}
+
+define nginx_site($port = 80, $root = undef) {
+  $docroot = $root ? {
+    undef   => "/srv/www/${title}",
+    default => $root,
+  }
+  file { "/etc/nginx/sites-available/${title}":
+    content => "server {\n  listen ${port};\n  server_name ${title};\n  root ${docroot};\n}\n",
+    require => Package['nginx'],
+    notify  => Service['nginx'],
+  }
+}
+
+nginx_site { 'www.example.com': }
+nginx_site { 'api.example.com':
+  port => 8080,
+  root => '/srv/api',
+}
+
+include nginx

@@ -1,0 +1,19 @@
+# ntp-fixed: the ntp-nondet benchmark with the package dependency
+# restored; deterministic and idempotent.
+class ntp {
+  package { 'ntp':
+    ensure => present,
+  }
+
+  file { '/etc/ntp.conf':
+    content => "driftfile /var/lib/ntp/ntp.drift\nserver 0.pool.ntp.org iburst\nserver 1.pool.ntp.org iburst\n",
+    require => Package['ntp'],
+  }
+
+  service { 'ntp':
+    ensure    => running,
+    subscribe => File['/etc/ntp.conf'],
+  }
+}
+
+include ntp

@@ -1,0 +1,23 @@
+# ntp-nondet: time synchronization.
+# BUG: the common Puppet idiom of installing a package and overwriting its
+# default configuration, with the dependency omitted (the paper's
+# figure 3a bug class): /etc/ntp.conf is shipped by the ntp package, so
+# creating the file first makes the package installation collide — and the
+# two orders disagree.
+class ntp {
+  package { 'ntp':
+    ensure => present,
+  }
+
+  file { '/etc/ntp.conf':
+    content => "driftfile /var/lib/ntp/ntp.drift\nserver 0.pool.ntp.org iburst\nserver 1.pool.ntp.org iburst\n",
+    # require => Package['ntp'],   # <-- omitted
+  }
+
+  service { 'ntp':
+    ensure    => running,
+    subscribe => File['/etc/ntp.conf'],
+  }
+}
+
+include ntp

@@ -1,0 +1,23 @@
+# rsyslog-fixed: the rsyslog-nondet benchmark with the drop-in's package
+# dependency restored; deterministic and idempotent.
+class rsyslog {
+  package { 'rsyslog':
+    ensure => present,
+  }
+
+  file { '/etc/rsyslog.conf':
+    content => "module(load=\"imuxsock\")\n\$IncludeConfig /etc/rsyslog.d/*.conf\n",
+    require => Package['rsyslog'],
+  }
+  file { '/etc/rsyslog.d/30-remote.conf':
+    content => "*.* @@loghost.example.com:514\n",
+    require => Package['rsyslog'],
+  }
+
+  service { 'rsyslog':
+    ensure    => running,
+    subscribe => [File['/etc/rsyslog.conf'], File['/etc/rsyslog.d/30-remote.conf']],
+  }
+}
+
+include rsyslog

@@ -1,0 +1,25 @@
+# rsyslog-nondet: central syslog configuration.
+# BUG: the main configuration declares its package dependency but the
+# drop-in under /etc/rsyslog.d does not; the drop-in may be created before
+# the package creates the directory.
+class rsyslog {
+  package { 'rsyslog':
+    ensure => present,
+  }
+
+  file { '/etc/rsyslog.conf':
+    content => "module(load=\"imuxsock\")\n\$IncludeConfig /etc/rsyslog.d/*.conf\n",
+    require => Package['rsyslog'],
+  }
+  file { '/etc/rsyslog.d/30-remote.conf':
+    content => "*.* @@loghost.example.com:514\n",
+    # require => Package['rsyslog'],   # <-- omitted
+  }
+
+  service { 'rsyslog':
+    ensure    => running,
+    subscribe => [File['/etc/rsyslog.conf'], File['/etc/rsyslog.d/30-remote.conf']],
+  }
+}
+
+include rsyslog

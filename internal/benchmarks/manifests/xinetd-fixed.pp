@@ -1,0 +1,19 @@
+# xinetd-fixed: the xinetd-nondet benchmark with the package dependency
+# restored; deterministic and idempotent.
+class xinetd {
+  package { 'xinetd':
+    ensure => present,
+  }
+
+  file { '/etc/xinetd.d/backup-agent':
+    content => "service backup-agent\n{\n  port = 9911\n  socket_type = stream\n  wait = no\n}\n",
+    require => Package['xinetd'],
+  }
+
+  service { 'xinetd':
+    ensure    => running,
+    subscribe => File['/etc/xinetd.d/backup-agent'],
+  }
+}
+
+include xinetd

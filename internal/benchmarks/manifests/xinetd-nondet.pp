@@ -1,0 +1,20 @@
+# xinetd-nondet: super-server with a custom service entry.
+# BUG: the /etc/xinetd.d entry does not require the xinetd package that
+# creates the directory.
+class xinetd {
+  package { 'xinetd':
+    ensure => present,
+  }
+
+  file { '/etc/xinetd.d/backup-agent':
+    content => "service backup-agent\n{\n  port = 9911\n  socket_type = stream\n  wait = no\n}\n",
+    # require => Package['xinetd'],   # <-- omitted
+  }
+
+  service { 'xinetd':
+    ensure    => running,
+    subscribe => File['/etc/xinetd.d/backup-agent'],
+  }
+}
+
+include xinetd

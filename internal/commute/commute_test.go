@@ -1,0 +1,229 @@
+package commute
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/sym"
+)
+
+func TestEffects(t *testing.T) {
+	s := Analyze(fs.SeqAll(
+		fs.Mkdir{Path: "/w"},
+		fs.If{A: fs.IsFile{Path: "/r"}, Then: fs.Id{}, Else: fs.Err{}},
+		fs.MkdirIfMissing("/d"),
+	))
+	if s.Effect("/w") != Write {
+		t.Errorf("mkdir effect = %v", s.Effect("/w"))
+	}
+	if s.Effect("/r") != Read {
+		t.Errorf("read effect = %v", s.Effect("/r"))
+	}
+	if s.Effect("/d") != EnsureDir {
+		t.Errorf("guarded mkdir effect = %v", s.Effect("/d"))
+	}
+	if s.Effect("/untouched") != Bot {
+		t.Errorf("untouched effect = %v", s.Effect("/untouched"))
+	}
+	if !s.Touches("/w") || s.Touches("/untouched") {
+		t.Error("Touches wrong")
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	for e, want := range map[Effect]string{Bot: "⊥", Read: "R", EnsureDir: "D", Write: "W"} {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q", e, e.String())
+		}
+	}
+}
+
+func TestGuardedMkdirForms(t *testing.T) {
+	forms := []fs.Expr{
+		fs.If{A: fs.Not{P: fs.IsDir{Path: "/d"}}, Then: fs.Mkdir{Path: "/d"}, Else: fs.Id{}},
+		fs.If{A: fs.IsDir{Path: "/d"}, Then: fs.Id{}, Else: fs.Mkdir{Path: "/d"}},
+		fs.If{A: fs.IsNone{Path: "/d"}, Then: fs.Mkdir{Path: "/d"},
+			Else: fs.If{A: fs.IsFile{Path: "/d"}, Then: fs.Err{}, Else: fs.Id{}}},
+	}
+	for i, f := range forms {
+		if got := Analyze(f).Effect("/d"); got != EnsureDir {
+			t.Errorf("form %d: effect = %v, want D", i, got)
+		}
+	}
+	// A bare mkdir is not an ensure.
+	if got := Analyze(fs.Mkdir{Path: "/d"}).Effect("/d"); got != Write {
+		t.Errorf("bare mkdir effect = %v", got)
+	}
+	// Mismatched paths in guard and body are not an ensure.
+	e := fs.If{A: fs.Not{P: fs.IsDir{Path: "/x"}}, Then: fs.Mkdir{Path: "/d"}, Else: fs.Id{}}
+	if got := Analyze(e).Effect("/d"); got != Write {
+		t.Errorf("mismatched guard effect = %v", got)
+	}
+}
+
+// ensureTree builds the package idiom: guarded mkdir of every ancestor then
+// the directory itself, root-first.
+func ensureTree(p fs.Path) fs.Expr {
+	var parts []fs.Expr
+	for _, q := range p.Ancestors() {
+		parts = append(parts, fs.MkdirIfMissing(q))
+	}
+	parts = append(parts, fs.MkdirIfMissing(p))
+	return fs.SeqAll(parts...)
+}
+
+func TestSharedDirectoriesCommute(t *testing.T) {
+	// The motivating case: two packages creating files under a shared
+	// directory tree commute even though their write-sets overlap on /usr.
+	pkg1 := fs.SeqAll(ensureTree("/usr/bin"), fs.Creat{Path: "/usr/bin/gcc", Content: "gcc"})
+	pkg2 := fs.SeqAll(ensureTree("/usr/bin"), fs.Creat{Path: "/usr/bin/ocaml", Content: "ocaml"})
+	s1, s2 := Analyze(pkg1), Analyze(pkg2)
+	if s1.Effect("/usr") != EnsureDir || s1.Effect("/usr/bin") != EnsureDir {
+		t.Fatalf("tree not recognized as D: /usr=%v /usr/bin=%v",
+			s1.Effect("/usr"), s1.Effect("/usr/bin"))
+	}
+	if !Commute(s1, s2) {
+		t.Fatal("packages with shared directories must commute")
+	}
+	// Sanity: they really do commute.
+	eq, _, err := sym.Equiv(
+		fs.Seq{E1: pkg1, E2: pkg2}, fs.Seq{E1: pkg2, E2: pkg1}, sym.Options{})
+	if err != nil || !eq {
+		t.Fatalf("semantic check failed: eq=%v err=%v", eq, err)
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	w := func(p fs.Path, c string) fs.Expr { return fs.Creat{Path: p, Content: c} }
+	cases := []struct {
+		name   string
+		e1, e2 fs.Expr
+		want   bool
+	}{
+		{"write-write same path", w("/f", "a"), w("/f", "b"), false},
+		{"write-read", w("/f", "a"), fs.If{A: fs.IsFile{Path: "/f"}, Then: fs.Id{}, Else: fs.Err{}}, false},
+		{"read-read", fs.If{A: fs.IsFile{Path: "/f"}, Then: fs.Id{}, Else: fs.Err{}},
+			fs.If{A: fs.IsNone{Path: "/f"}, Then: fs.Id{}, Else: fs.Err{}}, true},
+		{"disjoint writes", w("/f", "a"), w("/g", "b"), true},
+		{"ensure vs write", fs.MkdirIfMissing("/d"), fs.Mkdir{Path: "/d"}, false},
+		{"ensure vs read", fs.MkdirIfMissing("/d"), fs.If{A: fs.IsDir{Path: "/d"}, Then: fs.Id{}, Else: fs.Err{}}, false},
+		{"rm vs write inside", fs.Rm{Path: "/d"}, w("/d/f", "x"), false},
+		{"emptydir vs write inside", fs.If{A: fs.IsEmptyDir{Path: "/d"}, Then: fs.Id{}, Else: fs.Err{}}, w("/d/f", "x"), false},
+		{"emptydir vs sibling write", fs.If{A: fs.IsEmptyDir{Path: "/d"}, Then: fs.Id{}, Else: fs.Err{}}, w("/e/f", "x"), true},
+	}
+	for _, c := range cases {
+		got := Commute(Analyze(c.e1), Analyze(c.e2))
+		if got != c.want {
+			t.Errorf("%s: Commute = %v, want %v", c.name, got, c.want)
+		}
+		// Commute must be symmetric.
+		if rev := Commute(Analyze(c.e2), Analyze(c.e1)); rev != got {
+			t.Errorf("%s: asymmetric result", c.name)
+		}
+	}
+}
+
+// The join-soundness regression: a D established on only one branch of a
+// conditional must not license child directory creation after the join.
+func TestConditionalEnsureDoesNotEnableChild(t *testing.T) {
+	e := fs.SeqAll(
+		fs.If{A: fs.IsFile{Path: "/flag"}, Then: fs.MkdirIfMissing("/a"), Else: fs.Id{}},
+		fs.MkdirIfMissing("/a/b"),
+	)
+	s := Analyze(e)
+	if got := s.Effect("/a/b"); got != Write {
+		t.Errorf("child after conditional parent: effect = %v, want W", got)
+	}
+}
+
+func TestSummaryAccessors(t *testing.T) {
+	s := Analyze(fs.SeqAll(
+		fs.Rm{Path: "/d"},
+		fs.Creat{Path: "/f", Content: "x"},
+		fs.If{A: fs.IsEmptyDir{Path: "/e"}, Then: fs.Id{}, Else: fs.Err{}},
+	))
+	paths := s.Paths()
+	for _, want := range []fs.Path{"/d", "/f", "/e"} {
+		if !paths.Has(want) {
+			t.Errorf("Paths missing %s: %v", want, paths.Sorted())
+		}
+	}
+	if !s.ObservesChildrenOf("/d") || !s.ObservesChildrenOf("/e") {
+		t.Error("rm/emptydir child observation missing")
+	}
+	if s.ObservesChildrenOf("/f") {
+		t.Error("creat does not observe children")
+	}
+	obs := s.ChildObserved()
+	if len(obs) != 2 {
+		t.Errorf("ChildObserved = %v", obs.Sorted())
+	}
+	// ChildObserved returns a copy.
+	obs.Add("/zzz")
+	if s.ObservesChildrenOf("/zzz") {
+		t.Error("ChildObserved aliases internal state")
+	}
+	// Touching via the parent's child-set: /d/x is "touched" because the
+	// expression observes /d's children.
+	if !s.Touches("/d/x") {
+		t.Error("child of observed dir should count as touched")
+	}
+}
+
+// genBlock produces random expressions biased toward the idioms the
+// analysis cares about (guarded mkdirs, package-style trees, reads).
+func genBlock(r *rand.Rand) fs.Expr {
+	paths := []fs.Path{"/a", "/a/b", "/a/b/f", "/c", "/c/f", "/d"}
+	contents := []string{"x", "y"}
+	p := func() fs.Path { return paths[r.Intn(len(paths))] }
+	var parts []fs.Expr
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		switch r.Intn(7) {
+		case 0:
+			parts = append(parts, ensureTree(p()))
+		case 1:
+			parts = append(parts, fs.MkdirIfMissing(p()))
+		case 2:
+			parts = append(parts, fs.Creat{Path: p(), Content: contents[r.Intn(2)]})
+		case 3:
+			parts = append(parts, fs.If{A: fs.IsFile{Path: p()}, Then: fs.Id{}, Else: fs.Err{}})
+		case 4:
+			parts = append(parts, fs.Rm{Path: p()})
+		case 5:
+			parts = append(parts, fs.If{A: fs.IsEmptyDir{Path: p()}, Then: fs.Id{}, Else: fs.Err{}})
+		case 6:
+			parts = append(parts, fs.Cp{Src: p(), Dst: p()})
+		}
+	}
+	return fs.SeqAll(parts...)
+}
+
+// TestCommuteSound is the lemma-4 property test: whenever the syntactic
+// check says two expressions commute, the symbolic engine must agree that
+// e1;e2 ≡ e2;e1.
+func TestCommuteSound(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	commuting := 0
+	for trial := 0; trial < 250; trial++ {
+		e1, e2 := genBlock(r), genBlock(r)
+		if !Commute(Analyze(e1), Analyze(e2)) {
+			continue
+		}
+		commuting++
+		eq, cex, err := sym.Equiv(
+			fs.Seq{E1: e1, E2: e2}, fs.Seq{E1: e2, E2: e1}, sym.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("trial %d: claimed commuting but inequivalent\ne1=%s\ne2=%s\n%s",
+				trial, fs.String(e1), fs.String(e2), cex)
+		}
+	}
+	if commuting == 0 {
+		t.Error("no commuting pairs sampled; property vacuous")
+	}
+	t.Logf("verified %d commuting pairs", commuting)
+}

@@ -1,0 +1,395 @@
+// Package core is Rehearsal proper: it wires the Puppet frontend, the
+// resource compiler and the analyses into the verification pipeline of the
+// paper — manifest → resource graph (section 3) → determinacy check
+// (section 4) → idempotence and invariant checks (section 5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/commute"
+	"repro/internal/fs"
+	"repro/internal/graph"
+	"repro/internal/pkgdb"
+	"repro/internal/puppet"
+	"repro/internal/resources"
+)
+
+// ErrTimeout reports that an analysis exceeded its deadline, mirroring the
+// paper's 10-minute benchmark timeout.
+var ErrTimeout = errors.New("core: analysis timed out")
+
+// Options configures the pipeline and the determinacy analysis. The three
+// analysis switches correspond to the paper's ablations (figure 11):
+// commutativity-based partial-order reduction (section 4.3), resource
+// elimination and path pruning (section 4.4).
+type Options struct {
+	// Platform selects the package catalog and facts: "ubuntu" (default)
+	// or "centos".
+	Platform string
+	// Provider supplies package listings; defaults to the built-in
+	// synthetic catalog.
+	Provider pkgdb.Provider
+	// Facts overrides the platform-derived facts.
+	Facts map[string]puppet.Value
+	// NodeName selects which node block applies (default "default").
+	NodeName string
+
+	// Commutativity enables partial-order reduction (figure 9a).
+	Commutativity bool
+	// DisableSleepSets turns off the sleep-set refinement of the
+	// partial-order reduction, leaving only the paper's pivot rule. With
+	// sleep sets off, a single conflicting pair among otherwise-commuting
+	// resources forces a factorial exploration (an ablation knob; see
+	// DESIGN.md).
+	DisableSleepSets bool
+	// WellFormedInit restricts the quantified initial filesystems to
+	// well-formed trees (every present path's modeled ancestors are
+	// directories). The paper's definition 1 quantifies over arbitrary
+	// maps; real machines are always well-formed, so this option can only
+	// remove counterexamples no machine could exhibit. Off by default for
+	// paper fidelity.
+	WellFormedInit bool
+	// SemanticCommute falls back to a solver-based pairwise equivalence
+	// check (e1;e2 ≡ e2;e1) when the syntactic commutativity analysis of
+	// figure 9b cannot prove a pair commutes. This goes beyond the paper:
+	// it proves, for example, that two package resources with overlapping
+	// dependency closures commute (both guard shared dependencies with the
+	// same installed-marker check), collapsing their traces. Results are
+	// cached per pair; inconclusive checks (budget exhausted) count as
+	// non-commuting, so the option never affects soundness.
+	SemanticCommute bool
+	// Elimination enables removing resources that commute with everything
+	// that may run after them (section 4.4).
+	Elimination bool
+	// Pruning enables dropping single-writer definitive writes
+	// (figure 10).
+	Pruning bool
+
+	// Timeout bounds each check's wall-clock time; 0 means none.
+	Timeout time.Duration
+	// MaxSequences caps the number of linearizations the checker encodes
+	// before giving up with ErrTimeout; 0 means the default of 20000.
+	MaxSequences int
+}
+
+// DefaultOptions enables every analysis, matching the configuration the
+// paper evaluates as "Rehearsal".
+func DefaultOptions() Options {
+	return Options{
+		Platform:      "ubuntu",
+		Commutativity: true,
+		Elimination:   true,
+		Pruning:       true,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Platform == "" {
+		o.Platform = "ubuntu"
+	}
+	if o.Provider == nil {
+		o.Provider = pkgdb.DefaultCatalog()
+	}
+	if o.MaxSequences == 0 {
+		o.MaxSequences = 20000
+	}
+	return o
+}
+
+// PlatformFacts returns the fact set for a platform, used by the evaluator
+// for $operatingsystem-style conditionals.
+func PlatformFacts(platform string) map[string]puppet.Value {
+	switch platform {
+	case "centos":
+		return map[string]puppet.Value{
+			"operatingsystem":        puppet.StrV("CentOS"),
+			"osfamily":               puppet.StrV("RedHat"),
+			"operatingsystemrelease": puppet.StrV("7"),
+			"kernel":                 puppet.StrV("Linux"),
+		}
+	default:
+		return map[string]puppet.Value{
+			"operatingsystem":        puppet.StrV("Ubuntu"),
+			"osfamily":               puppet.StrV("Debian"),
+			"operatingsystemrelease": puppet.StrV("14.04"),
+			"kernel":                 puppet.StrV("Linux"),
+		}
+	}
+}
+
+// node is one vertex of the compiled resource graph.
+type node struct {
+	res  *puppet.Resource
+	expr fs.Expr // compiled FS model, possibly pruned
+	orig fs.Expr // unpruned model, used for replay and idempotence
+	sum  *commute.Summary
+}
+
+// System is a loaded manifest: the catalog and the compiled resource graph
+// of figure 4.
+type System struct {
+	Catalog *puppet.Catalog
+	opts    Options
+	g       *graph.Graph[*node]
+}
+
+// Load parses, evaluates and compiles a manifest.
+func Load(src string, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	facts := opts.Facts
+	if facts == nil {
+		facts = PlatformFacts(opts.Platform)
+	}
+	cat, err := puppet.EvaluateSource(src, puppet.Config{Facts: facts, NodeName: opts.NodeName})
+	if err != nil {
+		return nil, err
+	}
+	return FromCatalog(cat, opts)
+}
+
+// FromCatalog compiles an already-evaluated catalog into a System.
+func FromCatalog(cat *puppet.Catalog, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	compiler := resources.NewCompiler(opts.Provider, opts.Platform)
+
+	g := graph.New[*node]()
+	byKey := make(map[string]graph.Node)
+	for _, r := range cat.Realized() {
+		expr, err := compiler.Compile(r)
+		if err != nil {
+			return nil, err
+		}
+		n := g.Add(&node{res: r, expr: expr, orig: expr, sum: commute.Analyze(expr)})
+		byKey[r.Key()] = n
+	}
+
+	addEdge := func(from, to *puppet.Resource, what string) error {
+		u, uok := byKey[from.Key()]
+		v, vok := byKey[to.Key()]
+		if !uok || !vok {
+			return fmt.Errorf("%s: unresolved resource reference", what)
+		}
+		if u == v {
+			return nil // self-dependencies via containers are ignored
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return fmt.Errorf("%s: %w", what, err)
+		}
+		return nil
+	}
+
+	// Dependency edges from metaparameters and chaining arrows, expanding
+	// class/define-instance references to their contents.
+	for _, d := range cat.Deps {
+		if d.From.Type == "stage" || d.To.Type == "stage" {
+			continue // handled by stage elimination below
+		}
+		froms, err := cat.Expand(d.From)
+		if err != nil {
+			return nil, fmt.Errorf("dependency at %s: %w", d.Pos, err)
+		}
+		tos, err := cat.Expand(d.To)
+		if err != nil {
+			return nil, fmt.Errorf("dependency at %s: %w", d.Pos, err)
+		}
+		for _, f := range froms {
+			for _, t := range tos {
+				if err := addEdge(f, t, fmt.Sprintf("dependency at %s", d.Pos)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Autorequire (section 3.1 footnote): a file resource auto-requires
+	// the file resource managing its parent directory.
+	fileByPath := make(map[fs.Path]*puppet.Resource)
+	for _, r := range cat.Realized() {
+		if r.Type != "file" {
+			continue
+		}
+		path, ok := r.AttrString("path")
+		if !ok {
+			path = r.Title
+		}
+		if strings.HasPrefix(path, "/") {
+			fileByPath[fs.ParsePath(path)] = r
+		}
+	}
+	for p, child := range fileByPath {
+		if parent, ok := fileByPath[p.Parent()]; ok {
+			if err := addEdge(parent, child, "autorequire"); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Stage elimination (section 3.1): order the declared stages by their
+	// own dependencies, then add edges between the member resources of
+	// ordered stage pairs.
+	if err := applyStages(cat, g, byKey); err != nil {
+		return nil, err
+	}
+
+	if err := g.CheckAcyclic(); err != nil {
+		return nil, describeCycle(g)
+	}
+	return &System{Catalog: cat, opts: opts, g: g}, nil
+}
+
+// describeCycle renders a dependency cycle with resource names (the
+// composition failure of figure 3b).
+func describeCycle(g *graph.Graph[*node]) error {
+	cycle := g.Cycle()
+	names := make([]string, 0, len(cycle)+1)
+	for _, n := range cycle {
+		names = append(names, g.Label(n).res.String())
+	}
+	if len(cycle) > 0 {
+		names = append(names, g.Label(cycle[0]).res.String())
+	}
+	return fmt.Errorf("dependency cycle: %s", strings.Join(names, " -> "))
+}
+
+// applyStages builds the stage DAG and adds inter-stage resource edges.
+func applyStages(cat *puppet.Catalog, g *graph.Graph[*node], byKey map[string]graph.Node) error {
+	stages := cat.Stages()
+	if len(stages) == 0 {
+		// Without stage declarations every resource is in main; a resource
+		// naming another stage is an error.
+		for _, r := range cat.Realized() {
+			if r.Stage != "main" {
+				return fmt.Errorf("%s: undeclared stage %q", r, r.Stage)
+			}
+		}
+		return nil
+	}
+	known := map[string]bool{"main": true}
+	for _, s := range stages {
+		known[strings.ToLower(s.Title)] = true
+	}
+	for _, r := range cat.Realized() {
+		if !known[r.Stage] {
+			return fmt.Errorf("%s: undeclared stage %q", r, r.Stage)
+		}
+	}
+	// Stage ordering graph.
+	sg := graph.New[string]()
+	stageNode := make(map[string]graph.Node)
+	ensure := func(name string) graph.Node {
+		if n, ok := stageNode[name]; ok {
+			return n
+		}
+		n := sg.Add(name)
+		stageNode[name] = n
+		return n
+	}
+	ensure("main")
+	for _, s := range stages {
+		ensure(strings.ToLower(s.Title))
+	}
+	for _, d := range cat.Deps {
+		if d.From.Type != "stage" || d.To.Type != "stage" {
+			if d.From.Type == "stage" || d.To.Type == "stage" {
+				return fmt.Errorf("dependency at %s mixes stages and resources", d.Pos)
+			}
+			continue
+		}
+		from, ok := stageNode[strings.ToLower(d.From.Title)]
+		if !ok {
+			return fmt.Errorf("dependency at %s: undeclared stage %q", d.Pos, d.From.Title)
+		}
+		to, ok := stageNode[strings.ToLower(d.To.Title)]
+		if !ok {
+			return fmt.Errorf("dependency at %s: undeclared stage %q", d.Pos, d.To.Title)
+		}
+		if err := sg.AddEdge(from, to); err != nil {
+			return err
+		}
+	}
+	if err := sg.CheckAcyclic(); err != nil {
+		return fmt.Errorf("stage ordering: %w", err)
+	}
+	// Members per stage.
+	members := make(map[string][]graph.Node)
+	for _, r := range cat.Realized() {
+		members[r.Stage] = append(members[r.Stage], byKey[r.Key()])
+	}
+	// For every ordered stage pair (transitively), add all member edges.
+	for name, n := range stageNode {
+		for later := range sg.Descendants(n) {
+			laterName := sg.Label(later)
+			for _, u := range members[name] {
+				for _, v := range members[laterName] {
+					if err := g.AddEdge(u, v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Size returns the number of resources in the compiled graph.
+func (s *System) Size() int { return s.g.Len() }
+
+// ResourceNames returns the resource names in declaration order.
+func (s *System) ResourceNames() []string {
+	var out []string
+	for _, n := range s.g.Nodes() {
+		out = append(out, s.g.Label(n).res.String())
+	}
+	return out
+}
+
+// Dot renders the resource graph in Graphviz format.
+func (s *System) Dot() string {
+	return s.g.Dot(func(n *node) string { return n.res.String() })
+}
+
+// Graph exposes a copy of the resource graph labeled with resource names,
+// for inspection by tools.
+func (s *System) Graph() *graph.Graph[string] {
+	out := graph.New[string]()
+	m := make(map[graph.Node]graph.Node)
+	for _, n := range s.g.Nodes() {
+		m[n] = out.Add(s.g.Label(n).res.String())
+	}
+	for _, n := range s.g.Nodes() {
+		for _, v := range s.g.Succs(n) {
+			_ = out.AddEdge(m[n], m[v])
+		}
+	}
+	return out
+}
+
+// ExprGraph exposes the resource graph labeled with the unpruned FS
+// models, as consumed by the dynamic baseline (package dynamic).
+func (s *System) ExprGraph() *graph.Graph[fs.Expr] {
+	out := graph.New[fs.Expr]()
+	m := make(map[graph.Node]graph.Node)
+	for _, n := range s.g.Nodes() {
+		m[n] = out.Add(s.g.Label(n).orig)
+	}
+	for _, n := range s.g.Nodes() {
+		for _, v := range s.g.Succs(n) {
+			_ = out.AddEdge(m[n], m[v])
+		}
+	}
+	return out
+}
+
+// TotalPaths returns the number of modeled paths before any analysis — the
+// unpruned "paths per state" of figure 11a.
+func (s *System) TotalPaths() int {
+	dom := make(fs.PathSet)
+	for _, n := range s.g.Nodes() {
+		dom.AddAll(fs.Dom(s.g.Label(n).orig))
+	}
+	return len(dom)
+}

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/commute"
+	"repro/internal/fs"
+	"repro/internal/graph"
+	"repro/internal/prune"
+	"repro/internal/sat"
+	"repro/internal/smt"
+	"repro/internal/sym"
+)
+
+// Counterexample witnesses non-determinism: two valid orders of the same
+// resources that produce different outcomes from the same initial
+// filesystem.
+type Counterexample struct {
+	Input          fs.State
+	Order1, Order2 []string
+	Ok1, Ok2       bool
+	Out1, Out2     fs.State
+}
+
+// Stats summarizes the work a determinacy check performed.
+type Stats struct {
+	Resources   int           // resources in the compiled graph
+	Eliminated  int           // resources removed by elimination
+	PrunedPaths int           // paths whose writes were pruned
+	TotalPaths  int           // modeled paths before analyses (fig. 11a "No")
+	Paths       int           // modeled paths after analyses (fig. 11a "Yes")
+	Sequences   int           // linearizations encoded after POR
+	Duration    time.Duration // wall-clock time of the check
+}
+
+// DeterminismResult is the outcome of CheckDeterminism.
+type DeterminismResult struct {
+	Deterministic  bool
+	Counterexample *Counterexample // set when non-deterministic
+	Stats          Stats
+}
+
+// workNode is a mutable copy of a graph node used during one check.
+type workNode struct {
+	name string
+	expr fs.Expr
+	orig fs.Expr
+	sum  *commute.Summary
+}
+
+// CheckDeterminism decides whether the manifest's resource graph is
+// deterministic (definition 1): every input filesystem leads to exactly
+// one outcome regardless of the order resources are applied in. The check
+// is sound and complete; see DESIGN.md for the replay-validated fallback
+// that keeps it exact when elimination or pruning are enabled.
+func (s *System) CheckDeterminism() (*DeterminismResult, error) {
+	return s.checkDeterminism(s.opts)
+}
+
+func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
+	start := time.Now()
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+
+	// Working copies: analyses must not mutate the System.
+	wg := graph.New[*workNode]()
+	remap := make(map[graph.Node]graph.Node)
+	for _, n := range s.g.Nodes() {
+		l := s.g.Label(n)
+		remap[n] = wg.Add(&workNode{name: l.res.String(), expr: l.expr, orig: l.orig, sum: l.sum})
+	}
+	for _, n := range s.g.Nodes() {
+		for _, v := range s.g.Succs(n) {
+			_ = wg.AddEdge(remap[n], remap[v])
+		}
+	}
+
+	stats := Stats{Resources: wg.Len(), TotalPaths: s.TotalPaths()}
+
+	commuteFn := makeCommuteFn(opts, deadline)
+
+	// Step 1 (section 4.4): eliminate resources that commute with every
+	// resource that may run after them. Removal order matters for replay:
+	// the first-removed resource commutes with everything else and can be
+	// placed last in any linearization.
+	var eliminated []*workNode
+	if opts.Elimination {
+		eliminated = eliminate(wg, commuteFn)
+		stats.Eliminated = len(eliminated)
+	}
+
+	// Step 2 (section 4.4): prune definitive writes to paths that only a
+	// single resource touches.
+	if opts.Pruning {
+		stats.PrunedPaths = pruneGraph(wg)
+	}
+
+	// Step 3 (sections 4.1–4.3): encode all POR-reduced linearizations
+	// symbolically and ask the solver for an input that distinguishes two
+	// of them.
+	nodes := wg.Nodes()
+	exprs := make([]fs.Expr, 0, len(nodes))
+	dom := make(fs.PathSet)
+	for _, n := range nodes {
+		exprs = append(exprs, wg.Label(n).expr)
+		dom.AddAll(fs.Dom(wg.Label(n).expr))
+	}
+	vocab := sym.NewVocab(dom, exprs...)
+	stats.Paths = len(vocab.Paths)
+	en := sym.NewEncoder(vocab)
+	if !deadline.IsZero() {
+		en.S.SetDeadline(deadline)
+	}
+	input := en.FreshInputState("in")
+	if opts.WellFormedInit {
+		en.S.Assert(en.WellFormed(input))
+	}
+
+	outs, orders, err := enumerate(wg, en, input, opts, deadline, commuteFn)
+	if err != nil {
+		return nil, err
+	}
+	stats.Sequences = len(outs)
+
+	if len(outs) <= 1 {
+		// A single linearization after POR is deterministic by
+		// construction: every order was proven equivalent to it.
+		stats.Duration = time.Since(start)
+		return &DeterminismResult{Deterministic: true, Stats: stats}, nil
+	}
+
+	// All-pairwise equality is equivalent to all-equal-to-first under a
+	// shared input (equality of concrete outcomes is transitive), so a
+	// linear number of disequalities suffices.
+	diffTerms := make([]smt.T, len(outs))
+	ts := make([]smt.T, 0, len(outs)-1)
+	for i := 1; i < len(outs); i++ {
+		diffTerms[i] = en.StatesDiffer(outs[0], outs[i])
+		ts = append(ts, diffTerms[i])
+	}
+	en.S.Assert(en.S.Or(ts...))
+
+	switch en.S.Check() {
+	case sat.Unsat:
+		stats.Duration = time.Since(start)
+		return &DeterminismResult{Deterministic: true, Stats: stats}, nil
+	case sat.Unknown:
+		return nil, ErrTimeout
+	}
+
+	// A model: decode the input and identify a distinguishing pair.
+	in := en.ModelState(input)
+	second := 1
+	for i := 1; i < len(outs); i++ {
+		if en.S.BoolValue(diffTerms[i]) {
+			second = i
+			break
+		}
+	}
+
+	cex := s.replay(wg, eliminated, in, orders[0], orders[second], opts.WellFormedInit)
+	if cex != nil {
+		stats.Duration = time.Since(start)
+		return &DeterminismResult{Deterministic: false, Counterexample: cex, Stats: stats}, nil
+	}
+
+	// The distinguishing input did not replay on the full graph: the
+	// abstraction introduced by elimination/pruning was too coarse for
+	// this manifest. Fall back to the exact configuration (POR only).
+	exact := opts
+	exact.Elimination = false
+	exact.Pruning = false
+	if opts.Elimination || opts.Pruning {
+		res, err := s.checkDeterminism(exact)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.TotalPaths = stats.TotalPaths
+		return res, nil
+	}
+	// POR and the base encoding are exact; an unreplayable model here is a
+	// bug in the encoder.
+	panic("core: determinism model failed to replay under the exact configuration")
+}
+
+// replay applies the two orders (plus eliminated resources, in reverse
+// elimination order) to the decoded input using the unpruned resource
+// models and the concrete evaluator. It returns nil when the outcomes do
+// not actually differ.
+func (s *System) replay(wg *graph.Graph[*workNode], eliminated []*workNode, in fs.State, order1, order2 []graph.Node, keepWellFormed bool) *Counterexample {
+	build := func(order []graph.Node) ([]string, fs.Expr) {
+		var names []string
+		var exprs []fs.Expr
+		for _, n := range order {
+			names = append(names, wg.Label(n).name)
+			exprs = append(exprs, wg.Label(n).orig)
+		}
+		for i := len(eliminated) - 1; i >= 0; i-- {
+			names = append(names, eliminated[i].name)
+			exprs = append(exprs, eliminated[i].orig)
+		}
+		return names, fs.SeqAll(exprs...)
+	}
+	names1, e1 := build(order1)
+	names2, e2 := build(order2)
+	if !diverges(e1, e2, in) {
+		return nil
+	}
+	in = minimizeInput(e1, e2, in, keepWellFormed)
+	out1, ok1 := fs.Eval(e1, in)
+	out2, ok2 := fs.Eval(e2, in)
+	return &Counterexample{
+		Input:  in,
+		Order1: names1, Order2: names2,
+		Ok1: ok1, Ok2: ok2,
+		Out1: out1, Out2: out2,
+	}
+}
+
+// diverges reports whether the two sequenced expressions produce different
+// outcomes from in.
+func diverges(e1, e2 fs.Expr, in fs.State) bool {
+	out1, ok1 := fs.Eval(e1, in)
+	out2, ok2 := fs.Eval(e2, in)
+	if ok1 != ok2 {
+		return true
+	}
+	return ok1 && !out1.Equal(out2)
+}
+
+// minimizeInput greedily removes entries from the witness filesystem while
+// the two orders still diverge, so reported counterexamples mention only
+// the state that matters. Removing one entry can unblock another (e.g. a
+// file inside a directory), so the pass repeats until a fixpoint.
+func minimizeInput(e1, e2 fs.Expr, in fs.State, keepWellFormed bool) fs.State {
+	min := in.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, p := range min.Paths() {
+			saved := min[p]
+			delete(min, p)
+			if diverges(e1, e2, min) && (!keepWellFormed || min.IsWellFormed()) {
+				changed = true
+				continue
+			}
+			min[p] = saved
+		}
+	}
+	return min
+}
+
+// commuteFunc decides whether two resource models commute.
+type commuteFunc func(a, b *workNode) bool
+
+// makeCommuteFn builds the commutativity decision: the fast syntactic
+// check of figure 9b, optionally strengthened by a cached solver-based
+// equivalence check of the two orders (Options.SemanticCommute).
+func makeCommuteFn(opts Options, deadline time.Time) commuteFunc {
+	type pairKey [2]string
+	cache := make(map[pairKey]bool)
+	return func(a, b *workNode) bool {
+		if commute.Commute(a.sum, b.sum) {
+			return true
+		}
+		if !opts.SemanticCommute {
+			return false
+		}
+		key := pairKey{a.name, b.name}
+		if a.name > b.name {
+			key = pairKey{b.name, a.name}
+		}
+		if v, ok := cache[key]; ok {
+			return v
+		}
+		symOpts := sym.Options{}
+		if !deadline.IsZero() {
+			// A bounded slice of the budget per pair; inconclusive means
+			// non-commuting, which is always sound.
+			symOpts.Budget = 200000
+		}
+		eq, _, err := sym.Equiv(
+			fs.Seq{E1: a.expr, E2: b.expr},
+			fs.Seq{E1: b.expr, E2: a.expr},
+			symOpts)
+		result := err == nil && eq
+		cache[key] = result
+		return result
+	}
+}
+
+// eliminate repeatedly removes fringe resources (no dependents) that
+// commute with every incomparable resource, returning them in removal
+// order.
+func eliminate(wg *graph.Graph[*workNode], commutes commuteFunc) []*workNode {
+	var removed []*workNode
+	for {
+		changed := false
+		for _, v := range wg.Nodes() {
+			if wg.OutDegree(v) != 0 {
+				continue
+			}
+			anc := wg.Ancestors(v)
+			ok := true
+			for _, u := range wg.Nodes() {
+				if u == v {
+					continue
+				}
+				if _, isAnc := anc[u]; isAnc {
+					continue
+				}
+				if !commutes(wg.Label(v), wg.Label(u)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				removed = append(removed, wg.Label(v))
+				wg.Remove(v)
+				changed = true
+			}
+		}
+		if !changed {
+			return removed
+		}
+	}
+}
+
+// pruneGraph prunes, for every resource, the definitive writes to paths no
+// other resource touches. Returns the number of pruned paths.
+func pruneGraph(wg *graph.Graph[*workNode]) int {
+	nodes := wg.Nodes()
+	// Count how many resources touch each path.
+	touchers := make(map[fs.Path]int)
+	for _, n := range nodes {
+		for p := range wg.Label(n).sum.Paths() {
+			touchers[p]++
+		}
+		for d := range wg.Label(n).sum.ChildObserved() {
+			// Observing the children of d counts as touching every
+			// modeled child of d; handled below per candidate.
+			_ = d
+		}
+	}
+	pruned := 0
+	for _, n := range nodes {
+		wn := wg.Label(n)
+		defs := prune.DefinitiveWrites(wn.expr)
+		expr := wn.expr
+		changed := false
+		for p, v := range defs {
+			if !v.Definitive() {
+				continue
+			}
+			if touchers[p] != 1 {
+				continue
+			}
+			// No other resource may observe p's presence through its
+			// parent's child-set.
+			shared := false
+			for _, m := range nodes {
+				if m == n {
+					continue
+				}
+				if wg.Label(m).sum.ObservesChildrenOf(p.Parent()) {
+					shared = true
+					break
+				}
+			}
+			if shared {
+				continue
+			}
+			next, ok := prune.Prune(p, expr)
+			if !ok {
+				continue
+			}
+			expr = next
+			pruned++
+			changed = true
+		}
+		if changed {
+			wg.SetLabel(n, &workNode{name: wn.name, expr: expr, orig: wn.orig, sum: commute.Analyze(expr)})
+		}
+	}
+	return pruned
+}
+
+// enumerate explores the POR-reduced linearizations of wg, applying each
+// resource's model symbolically (ΦG of figures 7 and 9a). It returns the
+// symbolic output state and resource order of every explored
+// linearization.
+func enumerate(wg *graph.Graph[*workNode], en *sym.Encoder, input *sym.State, opts Options, deadline time.Time, commutes commuteFunc) ([]*sym.State, [][]graph.Node, error) {
+	nodes := wg.Nodes()
+	idx := make(map[graph.Node]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	// Pairwise commutativity matrix and descendant sets.
+	canCommute := make([][]bool, len(nodes))
+	for i, u := range nodes {
+		canCommute[i] = make([]bool, len(nodes))
+		for j, v := range nodes {
+			if i == j {
+				continue
+			}
+			if j < i {
+				canCommute[i][j] = canCommute[j][i]
+				continue
+			}
+			if opts.Commutativity {
+				canCommute[i][j] = commutes(wg.Label(u), wg.Label(v))
+			}
+		}
+	}
+	desc := make([]map[graph.Node]struct{}, len(nodes))
+	for i, n := range nodes {
+		desc[i] = wg.Descendants(n)
+	}
+
+	indeg := make(map[graph.Node]int, len(nodes))
+	for _, n := range nodes {
+		indeg[n] = wg.InDegree(n)
+	}
+	remaining := make(map[graph.Node]bool, len(nodes))
+	for _, n := range nodes {
+		remaining[n] = true
+	}
+
+	var outs []*sym.State
+	var orders [][]graph.Node
+	order := make([]graph.Node, 0, len(nodes))
+
+	// The exploration combines two sound reductions:
+	//
+	//  1. The pivot rule of figure 9a: a ready resource that commutes with
+	//     every remaining non-descendant can be scheduled first in every
+	//     linearization, so only that branch is explored.
+	//  2. Sleep sets: after exploring a branch that schedules t first, t
+	//     is put to sleep for the sibling branches and stays asleep as
+	//     long as only commuting resources execute — any linearization in
+	//     which t could be swapped back to the front was already covered
+	//     by the first branch. This collapses the n! interleavings of a
+	//     mostly-commuting resource set to one representative per
+	//     Mazurkiewicz trace even when no global pivot exists.
+	//
+	// Both use lemma 4's semantic commutativity, so every pruned
+	// linearization is equivalent to an explored one.
+	var rec func(st *sym.State, sleep map[graph.Node]bool) error
+	rec = func(st *sym.State, sleep map[graph.Node]bool) error {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		if len(order) == len(nodes) {
+			if len(outs) >= opts.MaxSequences {
+				return ErrTimeout
+			}
+			outs = append(outs, st)
+			orders = append(orders, append([]graph.Node(nil), order...))
+			return nil
+		}
+		var ready []graph.Node
+		for _, n := range nodes {
+			if remaining[n] && indeg[n] == 0 && !sleep[n] {
+				ready = append(ready, n)
+			}
+		}
+		if len(ready) == 0 {
+			// Everything ready is asleep: all linearizations below are
+			// permutations of branches explored earlier.
+			return nil
+		}
+		if opts.Commutativity {
+			for _, e := range ready {
+				pivot := true
+				for _, m := range nodes {
+					if m == e || !remaining[m] {
+						continue
+					}
+					if _, isDesc := desc[idx[e]][m]; isDesc {
+						continue
+					}
+					if !canCommute[idx[e]][idx[m]] {
+						pivot = false
+						break
+					}
+				}
+				if pivot {
+					ready = []graph.Node{e}
+					break
+				}
+			}
+		}
+		accumulated := sleep
+		for branch, n := range ready {
+			childSleep := make(map[graph.Node]bool)
+			for s := range accumulated {
+				if canCommute[idx[s]][idx[n]] {
+					childSleep[s] = true
+				}
+			}
+			remaining[n] = false
+			for _, m := range wg.Succs(n) {
+				indeg[m]--
+			}
+			order = append(order, n)
+			err := rec(en.Apply(wg.Label(n).expr, st), childSleep)
+			order = order[:len(order)-1]
+			remaining[n] = true
+			for _, m := range wg.Succs(n) {
+				indeg[m]++
+			}
+			if err != nil {
+				return err
+			}
+			if opts.Commutativity && !opts.DisableSleepSets && branch < len(ready)-1 {
+				if accumulated == nil || len(accumulated) == len(sleep) {
+					// Copy-on-write: extend the sleep set for siblings.
+					next := make(map[graph.Node]bool, len(sleep)+len(ready))
+					for s := range sleep {
+						next[s] = true
+					}
+					accumulated = next
+				}
+				accumulated[n] = true
+			}
+		}
+		return nil
+	}
+	if err := rec(input, nil); err != nil {
+		return nil, nil, err
+	}
+	return outs, orders, nil
+}

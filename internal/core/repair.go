@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/commute"
+	"repro/internal/fs"
+	"repro/internal/graph"
+)
+
+// Repair is a suggested fix for a non-deterministic manifest: dependency
+// edges that, when added, make the determinacy check pass. This implements
+// the manifest-repair direction the paper's conclusion proposes (section
+// 9) on top of the determinacy analysis.
+type Repair struct {
+	// Edges are the suggested dependencies in Puppet chaining syntax,
+	// e.g. "Package[ntp] -> File[/etc/ntp.conf]".
+	Edges []string
+	// Result is the verification result of the repaired manifest.
+	Result *DeterminismResult
+}
+
+// maxRepairEdges bounds the greedy search.
+const maxRepairEdges = 8
+
+// SuggestRepair searches for a small set of dependency edges that makes
+// the manifest deterministic. It greedily picks an unordered,
+// non-commuting resource pair, tries both orientations (skipping any that
+// would create a cycle), keeps an orientation whose augmented graph
+// verifies — or, when neither verifies outright, keeps one and continues.
+// It returns nil when the manifest is already deterministic and an error
+// when no repair within the budget verifies.
+//
+// A suggested repair restores determinism only; the caller should still
+// check idempotence (figure 3c's silent failure is repairable to a
+// deterministic but non-idempotent manifest, which the paper argues
+// should be rejected outright).
+func (s *System) SuggestRepair() (*Repair, error) {
+	base, err := s.CheckDeterminism()
+	if err != nil {
+		return nil, err
+	}
+	if base.Deterministic {
+		return nil, nil
+	}
+
+	work := s.cloneSystem()
+	var added []string
+	for len(added) < maxRepairEdges {
+		u, v, found := work.conflictingPair()
+		if !found {
+			return nil, fmt.Errorf("core: non-deterministic but no unordered conflicting pair found")
+		}
+		type candidate struct {
+			sys   *System
+			res   *DeterminismResult
+			edge  string
+			fresh bool // the repaired manifest succeeds on a fresh machine
+		}
+		var verifying []candidate
+		var fallback *candidate
+		for _, dir := range [][2]graph.Node{{u, v}, {v, u}} {
+			cand := work.cloneSystem()
+			if err := cand.g.AddEdge(dir[0], dir[1]); err != nil {
+				continue
+			}
+			if cand.g.CheckAcyclic() != nil {
+				continue
+			}
+			res, err := cand.CheckDeterminism()
+			if err != nil {
+				return nil, err
+			}
+			edge := fmt.Sprintf("%s -> %s",
+				cand.g.Label(dir[0]).res, cand.g.Label(dir[1]).res)
+			c := candidate{sys: cand, res: res, edge: edge, fresh: cand.succeedsFromEmpty()}
+			if res.Deterministic {
+				verifying = append(verifying, c)
+			} else if fallback == nil || (c.fresh && !fallback.fresh) {
+				fallback = &c
+			}
+		}
+		// Both orientations may verify: an ordering that reliably errors is
+		// deterministic too. Prefer one that also succeeds on a fresh
+		// machine — the fix a human would write.
+		if len(verifying) > 0 {
+			best := verifying[0]
+			for _, c := range verifying[1:] {
+				if c.fresh && !best.fresh {
+					best = c
+				}
+			}
+			return &Repair{Edges: append(added, best.edge), Result: best.res}, nil
+		}
+		if fallback == nil {
+			return nil, fmt.Errorf("core: conflicting pair %s / %s cannot be ordered without a cycle",
+				work.g.Label(u).res, work.g.Label(v).res)
+		}
+		// Keep one orientation and continue resolving remaining conflicts.
+		work = fallback.sys
+		added = append(added, fallback.edge)
+	}
+	return nil, fmt.Errorf("core: no repair found within %d added edges", maxRepairEdges)
+}
+
+// succeedsFromEmpty reports whether one valid ordering of the manifest
+// succeeds when applied to an empty filesystem (a fresh machine) — the
+// repair heuristic's notion of a useful manifest. For a deterministic
+// manifest the choice of ordering does not matter.
+func (s *System) succeedsFromEmpty() bool {
+	order, err := s.g.TopoSort()
+	if err != nil {
+		return false
+	}
+	st := fs.NewState()
+	for _, n := range order {
+		next, ok := fs.Eval(s.g.Label(n).orig, st)
+		if !ok {
+			return false
+		}
+		st = next
+	}
+	return true
+}
+
+// conflictingPair finds an unordered (incomparable) pair of resources
+// whose models do not commute — a candidate cause of non-determinism.
+func (s *System) conflictingPair() (graph.Node, graph.Node, bool) {
+	nodes := s.g.Nodes()
+	for i, u := range nodes {
+		descU := s.g.Descendants(u)
+		ancU := s.g.Ancestors(u)
+		for _, v := range nodes[i+1:] {
+			if _, ok := descU[v]; ok {
+				continue
+			}
+			if _, ok := ancU[v]; ok {
+				continue
+			}
+			if !commute.Commute(s.g.Label(u).sum, s.g.Label(v).sum) {
+				return u, v, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// cloneSystem copies the System with an independent graph (labels shared:
+// they are immutable after load).
+func (s *System) cloneSystem() *System {
+	return &System{Catalog: s.Catalog, opts: s.opts, g: s.g.Clone()}
+}

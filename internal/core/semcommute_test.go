@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Two packages whose dependency closures overlap (git and amavisd-new
+// both pull in perl): the syntactic check cannot prove the shared
+// guarded install blocks commute, so the plain configuration must fall
+// back to enumerating and solving; the semantic-commutativity extension
+// proves the pair commutes and collapses the exploration to a single
+// linearization.
+const overlappingClosures = `
+package {'git': ensure => present }
+package {'amavisd-new': ensure => present }
+`
+
+func TestOverlappingClosuresDeterministic(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Timeout = 2 * time.Minute
+	s, err := Load(overlappingClosures, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckDeterminism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatalf("overlapping closures should be deterministic: %+v", res.Counterexample)
+	}
+	baselineSeqs := res.Stats.Sequences
+
+	opts.SemanticCommute = true
+	s2, err := Load(overlappingClosures, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.CheckDeterminism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Deterministic {
+		t.Fatal("semantic commute changed the verdict")
+	}
+	// With the semantic check, the two resources commute outright: both
+	// are eliminated and no sequence needs solving.
+	if res2.Stats.Eliminated != 2 {
+		t.Errorf("semantic commute should eliminate both resources, eliminated=%d",
+			res2.Stats.Eliminated)
+	}
+	if res2.Stats.Sequences > baselineSeqs {
+		t.Errorf("semantic commute explored more sequences (%d) than baseline (%d)",
+			res2.Stats.Sequences, baselineSeqs)
+	}
+}
+
+// Semantic commutativity must never turn a genuinely conflicting pair
+// into a commuting one.
+func TestSemanticCommuteKeepsRealConflicts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SemanticCommute = true
+	opts.Timeout = time.Minute
+	s, err := Load(fig3c, opts) // golang-go install vs perl removal
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckDeterminism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deterministic {
+		t.Fatal("fig 3c must stay non-deterministic under semantic commute")
+	}
+}

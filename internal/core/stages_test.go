@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func loadErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := Load(src, DefaultOptions())
+	if err == nil {
+		t.Fatalf("expected error containing %q\nsource:\n%s", wantSubstr, src)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err, wantSubstr)
+	}
+}
+
+func TestUndeclaredStageRejected(t *testing.T) {
+	loadErr(t, `package {'ntp': stage => 'bogus' }`, "undeclared stage")
+	// Also with other stages declared.
+	loadErr(t, `
+stage {'pre': before => Stage['main'] }
+package {'ntp': stage => 'bogus' }
+`, "undeclared stage")
+}
+
+func TestStageCycleRejected(t *testing.T) {
+	loadErr(t, `
+stage {'pre': before => Stage['main'] }
+stage {'post': require => Stage['main'], before => Stage['pre'] }
+package {'ntp': }
+`, "cycle")
+}
+
+func TestStageDependencyOnUndeclaredStage(t *testing.T) {
+	loadErr(t, `
+stage {'pre': before => Stage['nonexistent'] }
+package {'ntp': }
+`, "undeclared stage")
+}
+
+func TestMixedStageResourceDependency(t *testing.T) {
+	loadErr(t, `
+stage {'pre': before => Stage['main'] }
+package {'ntp': before => Stage['pre'] }
+`, "mixes stages and resources")
+}
+
+func TestMultiStageOrdering(t *testing.T) {
+	// Three stages: pre -> main -> post; ordering is transitive, so a
+	// pre-stage user orders before a post-stage file without explicit
+	// dependencies.
+	s := load(t, `
+stage {'pre': before => Stage['main'] }
+stage {'post': require => Stage['main'] }
+class setup {
+	user {'svc': ensure => present, managehome => true }
+}
+class teardown {
+	file {'/home/svc/.done': content => 'ok' }
+}
+class {'setup': stage => 'pre' }
+class {'teardown': stage => 'post' }
+package {'ntp': }
+`)
+	res := checkDet(t, s)
+	if !res.Deterministic {
+		t.Fatalf("staged manifest should be deterministic: %+v", res.Counterexample)
+	}
+	// The stage edges must actually order setup before teardown.
+	g := s.Graph()
+	var userNode, fileNode = -1, -1
+	for _, n := range g.Nodes() {
+		switch g.Label(n) {
+		case "User[svc]":
+			userNode = int(n)
+		case "File[/home/svc/.done]":
+			fileNode = int(n)
+		}
+	}
+	if userNode < 0 || fileNode < 0 {
+		t.Fatal("resources missing from graph")
+	}
+	found := false
+	for _, n := range g.Nodes() {
+		if int(n) == userNode {
+			for d := range g.Descendants(n) {
+				if int(d) == fileNode {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("pre-stage resource does not precede post-stage resource")
+	}
+}
+
+func TestUnresolvedDependencyReference(t *testing.T) {
+	loadErr(t, `
+package {'ntp': require => Package['ghost'] }
+`, "does not match any declared resource")
+	loadErr(t, `
+@user {'v': }
+package {'ntp': require => User['v'] }
+`, "unrealized virtual")
+}
+
+func TestDuplicatePathViaPathAttribute(t *testing.T) {
+	// Two file resources with distinct titles managing the same path are
+	// legal Puppet but non-deterministic when contents differ.
+	s := load(t, `
+file {'motd-a': path => '/etc/motd', content => 'a' }
+file {'motd-b': path => '/etc/motd', content => 'b' }
+`)
+	res := checkDet(t, s)
+	if res.Deterministic {
+		t.Fatal("conflicting file contents should be non-deterministic")
+	}
+}

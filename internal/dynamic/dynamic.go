@@ -1,0 +1,148 @@
+// Package dynamic implements the dynamic determinacy baseline the paper
+// compares against (section 4.5): install the resources in every valid
+// permutation inside isolated environments and diff the resulting
+// filesystems. The paper used Docker containers and reports that the
+// approach took hours for manifests with fewer than ten resources; here
+// the "containers" are simulated filesystems with a configurable
+// per-resource application latency, preserving both the enumeration
+// structure and the verdicts while serving as a test oracle for the static
+// checker.
+package dynamic
+
+import (
+	"time"
+
+	"repro/internal/fs"
+	"repro/internal/graph"
+)
+
+// Options configures the baseline.
+type Options struct {
+	// PerResourceLatency simulates the time to apply one resource in a
+	// container (package installation takes seconds in reality). The
+	// baseline's modeled cost is Permutations × Resources × this latency;
+	// Run also sleeps that long per resource when Sleep is true.
+	PerResourceLatency time.Duration
+	Sleep              bool
+	// MaxPermutations bounds the enumeration; 0 means exhaustive.
+	MaxPermutations int
+	// Inputs are the initial filesystems to test from; empty means a
+	// single empty filesystem (a fresh container image).
+	Inputs []fs.State
+}
+
+// Result reports the baseline's findings.
+type Result struct {
+	Deterministic bool
+	// Input/OrderA/OrderB witness a divergence when non-deterministic.
+	Input          fs.State
+	OrderA, OrderB []graph.Node
+	Permutations   int           // permutations actually executed
+	Exhaustive     bool          // false when MaxPermutations truncated
+	ModeledCost    time.Duration // Permutations × Resources × latency
+}
+
+// outcome is a container's final state.
+type outcome struct {
+	ok    bool
+	state fs.State
+	order []graph.Node
+}
+
+// Run applies every valid permutation of the resource graph to every
+// input and compares outcomes.
+func Run(g *graph.Graph[fs.Expr], opts Options) *Result {
+	inputs := opts.Inputs
+	if len(inputs) == 0 {
+		inputs = []fs.State{fs.NewState()}
+	}
+	res := &Result{Deterministic: true, Exhaustive: true}
+	for _, input := range inputs {
+		var first *outcome
+		complete := g.Linearizations(opts.MaxPermutations, func(order []graph.Node) bool {
+			res.Permutations++
+			st := input.Clone()
+			ok := true
+			for _, n := range order {
+				if opts.Sleep && opts.PerResourceLatency > 0 {
+					time.Sleep(opts.PerResourceLatency)
+				}
+				var applied fs.State
+				applied, ok = fs.Eval(g.Label(n), st)
+				if !ok {
+					break
+				}
+				st = applied
+			}
+			out := &outcome{ok: ok, state: st, order: order}
+			if first == nil {
+				first = out
+				return true
+			}
+			if differs(first, out) {
+				res.Deterministic = false
+				res.Input = input
+				res.OrderA = first.order
+				res.OrderB = out.order
+				return false
+			}
+			return true
+		})
+		if !complete && res.Deterministic {
+			res.Exhaustive = false
+		}
+		if !res.Deterministic {
+			break
+		}
+	}
+	res.ModeledCost = time.Duration(res.Permutations*g.Len()) * opts.PerResourceLatency
+	return res
+}
+
+func differs(a, b *outcome) bool {
+	if a.ok != b.ok {
+		return true
+	}
+	if !a.ok {
+		return false
+	}
+	return !a.state.Equal(b.state)
+}
+
+// CheckIdempotence applies the first valid permutation once and twice from
+// each input and compares, mirroring test-based idempotence checking
+// (section 7 discusses Hummer et al.'s approach for Chef).
+func CheckIdempotence(g *graph.Graph[fs.Expr], inputs []fs.State) (bool, fs.State) {
+	if len(inputs) == 0 {
+		inputs = []fs.State{fs.NewState()}
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return false, nil
+	}
+	apply := func(st fs.State) (fs.State, bool) {
+		for _, n := range order {
+			next, ok := fs.Eval(g.Label(n), st)
+			if !ok {
+				return nil, false
+			}
+			st = next
+		}
+		return st, true
+	}
+	for _, input := range inputs {
+		once, ok1 := apply(input.Clone())
+		var twice fs.State
+		ok2 := false
+		if ok1 {
+			twice, ok2 = apply(once)
+		}
+		if ok1 != ok2 {
+			return false, input
+		}
+		if ok1 && !once.Equal(twice) {
+			return false, input
+		}
+	}
+	return true, nil
+}

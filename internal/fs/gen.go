@@ -1,0 +1,139 @@
+package fs
+
+import "math/rand"
+
+// This file provides random generators for FS programs and states. They are
+// exported (rather than living in a _test file) because several packages'
+// property-based tests cross-check the symbolic engine, the commutativity
+// analysis and the pruner against the concrete evaluator on random programs.
+
+// GenConfig controls random program generation.
+type GenConfig struct {
+	Paths    []Path   // path vocabulary; must be non-empty
+	Contents []string // content vocabulary; must be non-empty
+	MaxDepth int      // maximum AST nesting depth
+}
+
+// DefaultGenConfig is a small vocabulary that exercises parent/child
+// interactions: sibling files, nested directories, a shared directory.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Paths: []Path{
+			"/a", "/a/b", "/a/b/c", "/a/d", "/e", "/e/f",
+		},
+		Contents: []string{"x", "y"},
+		MaxDepth: 4,
+	}
+}
+
+func (c GenConfig) path(r *rand.Rand) Path {
+	return c.Paths[r.Intn(len(c.Paths))]
+}
+
+func (c GenConfig) content(r *rand.Rand) string {
+	return c.Contents[r.Intn(len(c.Contents))]
+}
+
+// GenPred generates a random predicate of at most the given depth.
+func GenPred(r *rand.Rand, c GenConfig, depth int) Pred {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return IsFile{c.path(r)}
+		case 1:
+			return IsDir{c.path(r)}
+		case 2:
+			return IsEmptyDir{c.path(r)}
+		default:
+			return IsNone{c.path(r)}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return Not{GenPred(r, c, depth-1)}
+	case 1:
+		return And{GenPred(r, c, depth-1), GenPred(r, c, depth-1)}
+	case 2:
+		return Or{GenPred(r, c, depth-1), GenPred(r, c, depth-1)}
+	case 3:
+		return True{}
+	default:
+		return GenPred(r, c, 0)
+	}
+}
+
+// GenExpr generates a random expression of at most the given depth.
+func GenExpr(r *rand.Rand, c GenConfig, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(6) {
+		case 0:
+			return Id{}
+		case 1:
+			return Mkdir{c.path(r)}
+		case 2:
+			return Creat{c.path(r), c.content(r)}
+		case 3:
+			return Rm{c.path(r)}
+		case 4:
+			return Cp{c.path(r), c.path(r)}
+		default:
+			return Err{}
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Seq{GenExpr(r, c, depth-1), GenExpr(r, c, depth-1)}
+	case 1:
+		return If{GenPred(r, c, 2), GenExpr(r, c, depth-1), GenExpr(r, c, depth-1)}
+	default:
+		return GenExpr(r, c, 0)
+	}
+}
+
+// GenState generates a random concrete filesystem over the vocabulary,
+// including fresh children of vocabulary paths so that emptydir?/rm corner
+// cases are exercised. The result is an arbitrary map, not necessarily a
+// well-formed tree, matching the paper's semantics which quantifies over
+// arbitrary maps.
+func GenState(r *rand.Rand, c GenConfig) State {
+	s := NewState()
+	for _, p := range c.Paths {
+		addRandomEntry(r, c, s, p)
+		if r.Intn(4) == 0 {
+			addRandomEntry(r, c, s, p.FreshChild())
+		}
+	}
+	return s
+}
+
+// GenWellFormedState generates a random filesystem that is a well-formed
+// tree: every present path has all ancestors present as directories.
+func GenWellFormedState(r *rand.Rand, c GenConfig) State {
+	s := GenState(r, c)
+	for p, content := range s {
+		keep := true
+		for q := p.Parent(); !q.IsRoot(); q = q.Parent() {
+			if !s.IsDir(q) {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			delete(s, p)
+			continue
+		}
+		_ = content
+	}
+	return s
+}
+
+func addRandomEntry(r *rand.Rand, c GenConfig, s State, p Path) {
+	switch r.Intn(3) {
+	case 0:
+		// absent
+	case 1:
+		s[p] = DirContent()
+	case 2:
+		s[p] = FileContent(c.content(r))
+	}
+}

@@ -1,0 +1,131 @@
+package fs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParsePath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Path
+	}{
+		{"/", "/"},
+		{"", "/"},
+		{"/a", "/a"},
+		{"/a/", "/a"},
+		{"//a//b", "/a/b"},
+		{"/a/./b", "/a/b"},
+		{"a/b", "/a/b"},
+	}
+	for _, c := range cases {
+		if got := ParsePath(c.in); got != c.want {
+			t.Errorf("ParsePath(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMakePath(t *testing.T) {
+	if got := MakePath(); got != Root {
+		t.Errorf("MakePath() = %q, want /", got)
+	}
+	if got := MakePath("etc", "nginx"); got != "/etc/nginx" {
+		t.Errorf("MakePath(etc,nginx) = %q", got)
+	}
+}
+
+func TestParentBase(t *testing.T) {
+	cases := []struct {
+		p      Path
+		parent Path
+		base   string
+	}{
+		{"/", "/", "/"},
+		{"/a", "/", "a"},
+		{"/a/b", "/a", "b"},
+		{"/a/b/c", "/a/b", "c"},
+	}
+	for _, c := range cases {
+		if got := c.p.Parent(); got != c.parent {
+			t.Errorf("%q.Parent() = %q, want %q", c.p, got, c.parent)
+		}
+		if got := c.p.Base(); got != c.base {
+			t.Errorf("%q.Base() = %q, want %q", c.p, got, c.base)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	if got := Root.Join("a"); got != "/a" {
+		t.Errorf("Root.Join(a) = %q", got)
+	}
+	if got := Path("/a").Join("b"); got != "/a/b" {
+		t.Errorf("/a.Join(b) = %q", got)
+	}
+}
+
+func TestChildDescendant(t *testing.T) {
+	if !Path("/a/b").IsChildOf("/a") {
+		t.Error("/a/b should be child of /a")
+	}
+	if Path("/a/b/c").IsChildOf("/a") {
+		t.Error("/a/b/c is not a direct child of /a")
+	}
+	if !Path("/a/b/c").IsDescendantOf("/a") {
+		t.Error("/a/b/c should descend from /a")
+	}
+	if Path("/ab").IsDescendantOf("/a") {
+		t.Error("/ab does not descend from /a (prefix trap)")
+	}
+	if Path("/a").IsDescendantOf("/a") {
+		t.Error("a path does not descend from itself")
+	}
+	if !Path("/a").IsDescendantOf(Root) {
+		t.Error("/a descends from the root")
+	}
+	if !Path("/a").IsChildOf(Root) {
+		t.Error("/a is a child of the root")
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	got := Path("/a/b/c").Ancestors()
+	want := []Path{"/a", "/a/b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ancestors = %v, want %v", got, want)
+	}
+	if got := Path("/a").Ancestors(); len(got) != 0 {
+		t.Errorf("Ancestors(/a) = %v, want empty", got)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	for p, d := range map[Path]int{"/": 0, "/a": 1, "/a/b": 2} {
+		if got := p.Depth(); got != d {
+			t.Errorf("%q.Depth() = %d, want %d", p, got, d)
+		}
+	}
+}
+
+func TestPathSet(t *testing.T) {
+	s := NewPathSet("/b", "/a")
+	if !s.Has("/a") || !s.Has("/b") || s.Has("/c") {
+		t.Error("membership wrong")
+	}
+	if got := s.Sorted(); !reflect.DeepEqual(got, []Path{"/a", "/b"}) {
+		t.Errorf("Sorted = %v", got)
+	}
+	other := NewPathSet("/c")
+	if s.Intersects(other) {
+		t.Error("disjoint sets reported intersecting")
+	}
+	other.Add("/b")
+	if !s.Intersects(other) {
+		t.Error("intersecting sets reported disjoint")
+	}
+	clone := s.Clone()
+	clone.Add("/z")
+	if s.Has("/z") {
+		t.Error("Clone aliases original")
+	}
+}

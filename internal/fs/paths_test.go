@@ -1,0 +1,68 @@
+package fs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPredAndExprPaths(t *testing.T) {
+	a := AndAll(IsFile{"/a"}, Or{L: IsDir{"/b"}, R: Not{P: IsEmptyDir{"/c"}}}, IsNone{"/d"})
+	got := PredPaths(a)
+	for _, want := range []Path{"/a", "/b", "/c", "/d"} {
+		if !got.Has(want) {
+			t.Errorf("PredPaths missing %s: %v", want, got.Sorted())
+		}
+	}
+	if len(got) != 4 {
+		t.Errorf("PredPaths = %v", got.Sorted())
+	}
+
+	e := SeqAll(
+		Mkdir{"/m"},
+		Creat{"/c", "x"},
+		Rm{"/r"},
+		Cp{"/s", "/t"},
+		If{IsFile{"/p"}, Id{}, Err{}},
+	)
+	eg := ExprPaths(e)
+	for _, want := range []Path{"/m", "/c", "/r", "/s", "/t", "/p"} {
+		if !eg.Has(want) {
+			t.Errorf("ExprPaths missing %s: %v", want, eg.Sorted())
+		}
+	}
+	// Unlike Dom, ExprPaths reports only syntactic paths (no parents or
+	// fresh children).
+	if eg.Has(Path("/r").FreshChild()) {
+		t.Error("ExprPaths should not include fresh children")
+	}
+}
+
+func TestStatePathsAndString(t *testing.T) {
+	s := State{"/b": FileContent("x"), "/a": DirContent()}
+	paths := s.Paths()
+	if len(paths) != 2 || paths[0] != "/a" || paths[1] != "/b" {
+		t.Errorf("Paths = %v", paths)
+	}
+	str := StateString(s)
+	if str != `{/a=dir, /b=file("x")}` {
+		t.Errorf("StateString = %s", str)
+	}
+	if StateString(NewState()) != "{}" {
+		t.Errorf("empty StateString = %s", StateString(NewState()))
+	}
+}
+
+func TestPrintCoverage(t *testing.T) {
+	// Exercise every constructor through the printers.
+	e := If{
+		A:    Or{L: And{L: True{}, R: False{}}, R: Not{P: IsEmptyDir{"/d"}}},
+		Then: SeqAll(Mkdir{"/m"}, Creat{"/c", "x"}, Rm{"/r"}, Cp{"/s", "/t"}),
+		Else: Err{},
+	}
+	s := String(e)
+	for _, frag := range []string{"if", "emptydir?", "mkdir", "creat", "rm(", "cp(", "err", "true", "false"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+}

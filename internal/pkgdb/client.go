@@ -1,0 +1,106 @@
+package pkgdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+// Client is a Provider backed by a package-listing service (see Handler).
+// Results are cached for the lifetime of the client, mirroring the paper's
+// server-side cache: the underlying package tools take seconds per query,
+// so reported analysis times exclude them.
+type Client struct {
+	base string
+	http *http.Client
+
+	mu    sync.Mutex
+	pkgs  map[string]*Package   // platform/name → listing
+	lists map[string][]*Package // kind/platform/name → closure or revdeps
+}
+
+// NewClient creates a client for the service at base (e.g.
+// "http://localhost:8373"). If httpClient is nil, http.DefaultClient is
+// used.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		base:  strings.TrimRight(base, "/"),
+		http:  httpClient,
+		pkgs:  make(map[string]*Package),
+		lists: make(map[string][]*Package),
+	}
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("pkgdb client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		msg := strings.TrimSpace(string(body))
+		if strings.Contains(msg, "platform") {
+			return fmt.Errorf("%w: %s", ErrUnknownPlatform, msg)
+		}
+		return fmt.Errorf("%w: %s", ErrUnknownPackage, msg)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pkgdb client: unexpected status %s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Lookup implements Provider.
+func (c *Client) Lookup(platform, name string) (*Package, error) {
+	key := platform + "/" + name
+	c.mu.Lock()
+	if p, ok := c.pkgs[key]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+	var p Package
+	if err := c.get("/v1/"+url.PathEscape(platform)+"/package/"+url.PathEscape(name), &p); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.pkgs[key] = &p
+	c.mu.Unlock()
+	return &p, nil
+}
+
+func (c *Client) list(kind, platform, name string) ([]*Package, error) {
+	key := kind + "/" + platform + "/" + name
+	c.mu.Lock()
+	if ps, ok := c.lists[key]; ok {
+		c.mu.Unlock()
+		return ps, nil
+	}
+	c.mu.Unlock()
+	var ps []*Package
+	if err := c.get("/v1/"+url.PathEscape(platform)+"/"+kind+"/"+url.PathEscape(name), &ps); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.lists[key] = ps
+	c.mu.Unlock()
+	return ps, nil
+}
+
+// Closure implements Provider.
+func (c *Client) Closure(platform, name string) ([]*Package, error) {
+	return c.list("closure", platform, name)
+}
+
+// ReverseDependents implements Provider.
+func (c *Client) ReverseDependents(platform, name string) ([]*Package, error) {
+	return c.list("revdeps", platform, name)
+}

@@ -1,0 +1,218 @@
+package pkgdb
+
+import "fmt"
+
+// spec is a compact description of a synthetic package expanded into a full
+// listing by build.
+type spec struct {
+	name    string
+	version string
+	deps    []string
+	files   []string // notable files (configuration, etc.), absolute paths
+	sbin    []string // daemon binaries under /usr/sbin
+	bin     []string // user binaries under /usr/bin
+	doc     int      // generated files under /usr/share/doc/<name>/
+	lib     int      // generated files under /usr/lib/<name>/
+}
+
+func (s spec) build() *Package {
+	p := &Package{Name: s.name, Version: s.version, Depends: s.deps}
+	p.Files = append(p.Files, s.files...)
+	for _, b := range s.sbin {
+		p.Files = append(p.Files, "/usr/sbin/"+b)
+	}
+	for _, b := range s.bin {
+		p.Files = append(p.Files, "/usr/bin/"+b)
+	}
+	for i := 0; i < s.doc; i++ {
+		p.Files = append(p.Files, fmt.Sprintf("/usr/share/doc/%s/doc%03d", s.name, i))
+	}
+	for i := 0; i < s.lib; i++ {
+		p.Files = append(p.Files, fmt.Sprintf("/usr/lib/%s/lib%03d", s.name, i))
+	}
+	return p
+}
+
+// ubuntuSpecs is the synthetic catalog for the "ubuntu" platform. File
+// counts are sized like the real packages the paper's benchmarks install
+// (tens to hundreds of files; git exceeds 500, as the paper notes), and the
+// dependency shapes reproduce the behaviors the paper discusses — notably
+// golang-go depending on perl (section 2.2, figure 3c).
+var ubuntuSpecs = []spec{
+	{name: "apache2", version: "2.4.7-1ubuntu4", deps: []string{"apache2-bin", "apache2-data"},
+		files: []string{
+			"/etc/apache2/apache2.conf",
+			"/etc/apache2/ports.conf",
+			"/etc/apache2/envvars",
+			"/etc/apache2/magic",
+			"/etc/apache2/sites-available/000-default.conf",
+			"/etc/apache2/sites-available/default-ssl.conf",
+			"/etc/apache2/mods-available/alias.conf",
+			"/etc/apache2/mods-available/dir.conf",
+			"/etc/apache2/mods-available/mime.conf",
+			"/etc/apache2/conf-available/charset.conf",
+			"/etc/apache2/conf-available/security.conf",
+		},
+		sbin: []string{"a2ensite", "a2dissite", "apache2ctl"}, doc: 25},
+	{name: "apache2-bin", version: "2.4.7-1ubuntu4",
+		sbin: []string{"apache2"}, lib: 85, doc: 10},
+	{name: "apache2-data", version: "2.4.7-1ubuntu4", doc: 55},
+	{name: "nginx", version: "1.4.6-1ubuntu3", deps: []string{"nginx-common"},
+		files: []string{"/etc/nginx/sites-available/default"},
+		sbin:  []string{"nginx"}, doc: 15, lib: 30},
+	{name: "nginx-common", version: "1.4.6-1ubuntu3",
+		files: []string{
+			"/etc/nginx/nginx.conf",
+			"/etc/nginx/mime.types",
+			"/etc/nginx/fastcgi_params",
+			"/etc/nginx/proxy_params",
+			"/etc/nginx/koi-utf",
+			"/etc/nginx/koi-win",
+			"/etc/nginx/win-utf",
+		}, doc: 12},
+	{name: "ntp", version: "4.2.6.p5", deps: []string{"libopts25"},
+		files: []string{"/etc/ntp.conf"},
+		sbin:  []string{"ntpd"}, bin: []string{"ntpq", "ntpdc"}, doc: 20},
+	{name: "libopts25", version: "5.18-2", lib: 8},
+	{name: "bind9", version: "9.9.5", deps: []string{"bind9utils"},
+		files: []string{
+			"/etc/bind/named.conf",
+			"/etc/bind/named.conf.options",
+			"/etc/bind/named.conf.local",
+			"/etc/bind/named.conf.default-zones",
+			"/etc/bind/db.local",
+			"/etc/bind/db.root",
+			"/etc/bind/rndc.key",
+			"/etc/bind/zones.rfc1918",
+		},
+		sbin: []string{"named", "rndc"}, doc: 30, lib: 25},
+	{name: "bind9utils", version: "9.9.5", bin: []string{"dnssec-keygen", "named-checkconf", "named-checkzone"}, doc: 8},
+	{name: "clamav", version: "0.98.7", deps: []string{"clamav-base", "libclamav6"},
+		files: []string{"/etc/clamav/clamd.conf", "/etc/clamav/freshclam.conf"},
+		bin:   []string{"clamscan", "freshclam", "sigtool"}, doc: 18},
+	{name: "clamav-base", version: "0.98.7", doc: 22},
+	{name: "libclamav6", version: "0.98.7", lib: 40},
+	{name: "amavisd-new", version: "2.7.1", deps: []string{"perl", "spamassassin"},
+		files: []string{
+			"/etc/amavis/conf.d/05-node_id",
+			"/etc/amavis/conf.d/15-content_filter_mode",
+			"/etc/amavis/conf.d/20-debian_defaults",
+			"/etc/amavis/conf.d/50-user",
+		},
+		sbin: []string{"amavisd-new"}, doc: 35, lib: 30},
+	{name: "spamassassin", version: "3.4.0", deps: []string{"perl"},
+		files: []string{"/etc/spamassassin/local.cf", "/etc/spamassassin/init.pre"},
+		bin:   []string{"spamassassin", "sa-learn"}, doc: 25, lib: 60},
+	{name: "postfix", version: "2.11.0",
+		files: []string{"/etc/postfix/main.cf", "/etc/postfix/master.cf"},
+		sbin:  []string{"postfix", "postconf"}, doc: 30, lib: 45},
+	{name: "rsyslog", version: "7.4.4",
+		files: []string{"/etc/rsyslog.conf", "/etc/rsyslog.d/50-default.conf"},
+		sbin:  []string{"rsyslogd"}, doc: 15, lib: 20},
+	{name: "xinetd", version: "2.3.15",
+		files: []string{
+			"/etc/xinetd.conf",
+			"/etc/xinetd.d/daytime",
+			"/etc/xinetd.d/echo",
+			"/etc/xinetd.d/time",
+		},
+		sbin: []string{"xinetd"}, doc: 10},
+	{name: "monit", version: "5.6-2",
+		files: []string{"/etc/monit/monitrc"},
+		bin:   []string{"monit"}, doc: 12},
+	{name: "logstash", version: "1.4.2", deps: []string{"openjdk-7-jre-headless"},
+		files: []string{
+			"/opt/logstash/bin/logstash",
+			"/opt/logstash/bin/plugin",
+			"/etc/logstash/conf.d/placeholder",
+		}, doc: 20, lib: 90},
+	{name: "openjdk-7-jre-headless", version: "7u51",
+		bin: []string{"java", "keytool"}, lib: 340, doc: 15},
+	{name: "tomcat7", version: "7.0.52", deps: []string{"openjdk-7-jre-headless"},
+		files: []string{
+			"/etc/tomcat7/server.xml",
+			"/etc/tomcat7/web.xml",
+			"/etc/tomcat7/tomcat-users.xml",
+			"/etc/tomcat7/context.xml",
+		}, doc: 18, lib: 110},
+	{name: "ngircd", version: "20.3",
+		files: []string{"/etc/ngircd/ngircd.conf", "/etc/ngircd/ngircd.motd"},
+		sbin:  []string{"ngircd"}, doc: 9},
+	{name: "mysql-server", version: "5.5.35", deps: []string{"mysql-common", "mysql-client"},
+		files: []string{"/etc/mysql/my.cnf", "/etc/mysql/debian.cnf"},
+		sbin:  []string{"mysqld"}, doc: 30, lib: 70},
+	{name: "mysql-common", version: "5.5.35", files: []string{"/etc/mysql/conf.d/mysqld_safe_syslog.cnf"}, doc: 5},
+	{name: "mysql-client", version: "5.5.35", bin: []string{"mysql", "mysqldump"}, doc: 12, lib: 25},
+	{name: "php5", version: "5.5.9", deps: []string{"libapache2-mod-php5"},
+		files: []string{"/etc/php5/cli/php.ini"}, bin: []string{"php"}, doc: 15},
+	{name: "libapache2-mod-php5", version: "5.5.9",
+		files: []string{"/etc/php5/apache2/php.ini", "/etc/php5/apache2/conf.d/module.ini"},
+		lib:   35},
+	{name: "openssh-server", version: "6.6p1", deps: []string{"openssh-client"},
+		files: []string{"/etc/ssh/sshd_config"},
+		sbin:  []string{"sshd"}, doc: 14},
+	{name: "openssh-client", version: "6.6p1",
+		files: []string{"/etc/ssh/ssh_config"},
+		bin:   []string{"ssh", "scp", "ssh-keygen"}, doc: 16, lib: 10},
+	// The paper's section 2.2 quirk: on Ubuntu 14.04 the Go compiler
+	// depends on Perl, so "remove perl, install golang-go" is unrealizable.
+	{name: "golang-go", version: "1.2.1", deps: []string{"perl"},
+		bin: []string{"go", "gofmt"}, lib: 120, doc: 10},
+	{name: "perl", version: "5.18.2",
+		bin: []string{"perl", "perldoc", "cpan"}, lib: 150, doc: 20},
+	{name: "git", version: "1.9.1", deps: []string{"perl"},
+		files: []string{"/etc/bash_completion.d/git"},
+		bin:   []string{"git", "git-shell", "git-upload-pack"}, lib: 480, doc: 30},
+	{name: "vim", version: "7.4.052", files: []string{"/etc/vim/vimrc"}, bin: []string{"vim", "vimtutor"}, doc: 20, lib: 45},
+	{name: "m4", version: "1.4.17", bin: []string{"m4"}, doc: 6},
+	{name: "make", version: "3.81", bin: []string{"make"}, doc: 8},
+	{name: "gcc", version: "4.8.2", deps: []string{"make"},
+		bin: []string{"gcc", "cpp", "gcov"}, lib: 95, doc: 12},
+	{name: "ocaml", version: "4.01.0", deps: []string{"m4"},
+		bin: []string{"ocaml", "ocamlc", "ocamlopt"}, lib: 130, doc: 15},
+	{name: "curl", version: "7.35.0", bin: []string{"curl"}, doc: 8, lib: 12},
+	{name: "wget", version: "1.15", files: []string{"/etc/wgetrc"}, bin: []string{"wget"}, doc: 6},
+	{name: "cron", version: "3.0pl1", files: []string{"/etc/crontab"}, sbin: []string{"cron"}, bin: []string{"crontab"}, doc: 7},
+}
+
+// centosSpecs is a reduced catalog for the "centos" platform with Red
+// Hat-style package names, demonstrating the paper's platform flag.
+var centosSpecs = []spec{
+	{name: "httpd", version: "2.4.6-40.el7", deps: []string{"httpd-tools"},
+		files: []string{
+			"/etc/httpd/conf/httpd.conf",
+			"/etc/httpd/conf.d/welcome.conf",
+			"/etc/httpd/conf.d/autoindex.conf",
+		},
+		sbin: []string{"httpd", "apachectl"}, doc: 30, lib: 60},
+	{name: "httpd-tools", version: "2.4.6-40.el7", bin: []string{"ab", "htpasswd"}, doc: 8},
+	{name: "nginx", version: "1.6.3", files: []string{"/etc/nginx/nginx.conf", "/etc/nginx/mime.types"},
+		sbin: []string{"nginx"}, doc: 15, lib: 30},
+	{name: "ntp", version: "4.2.6p5", files: []string{"/etc/ntp.conf"}, sbin: []string{"ntpd"}, doc: 18},
+	{name: "bind", version: "9.9.4", files: []string{"/etc/named.conf", "/etc/named.rfc1912.zones"},
+		sbin: []string{"named"}, doc: 25, lib: 22},
+	{name: "rsyslog", version: "7.4.7", files: []string{"/etc/rsyslog.conf"}, sbin: []string{"rsyslogd"}, doc: 12, lib: 18},
+	{name: "xinetd", version: "2.3.15", files: []string{"/etc/xinetd.conf", "/etc/xinetd.d/daytime"}, sbin: []string{"xinetd"}, doc: 9},
+	{name: "monit", version: "5.14", files: []string{"/etc/monitrc"}, bin: []string{"monit"}, doc: 10},
+	{name: "clamav", version: "0.99", files: []string{"/etc/clamd.conf", "/etc/freshclam.conf"},
+		bin: []string{"clamscan", "freshclam"}, doc: 16, lib: 38},
+	{name: "perl", version: "5.16.3", bin: []string{"perl"}, lib: 140, doc: 18},
+	{name: "golang", version: "1.4.2", deps: []string{"perl"}, bin: []string{"go", "gofmt"}, lib: 115, doc: 9},
+	{name: "git", version: "1.8.3", deps: []string{"perl"}, bin: []string{"git"}, lib: 460, doc: 25},
+	{name: "openssh-server", version: "6.6.1p1", files: []string{"/etc/ssh/sshd_config"}, sbin: []string{"sshd"}, doc: 12},
+	{name: "vim-enhanced", version: "7.4.160", files: []string{"/etc/vimrc"}, bin: []string{"vim"}, doc: 15, lib: 40},
+	{name: "cronie", version: "1.4.11", files: []string{"/etc/crontab"}, sbin: []string{"crond"}, bin: []string{"crontab"}, doc: 6},
+}
+
+// DefaultCatalog builds the synthetic catalog with the "ubuntu" and
+// "centos" platforms used throughout the benchmarks and examples.
+func DefaultCatalog() *Catalog {
+	c := NewCatalog()
+	for _, s := range ubuntuSpecs {
+		c.Add("ubuntu", s.build())
+	}
+	for _, s := range centosSpecs {
+		c.Add("centos", s.build())
+	}
+	return c
+}

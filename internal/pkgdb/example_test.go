@@ -1,0 +1,42 @@
+package pkgdb_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pkgdb"
+)
+
+// The dependency closure of a package, in installation order — the
+// listing the resource compiler turns into an FS program.
+func ExampleCatalog_Closure() {
+	catalog := pkgdb.DefaultCatalog()
+	closure, err := catalog.Closure("ubuntu", "golang-go")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range closure {
+		fmt.Println(p.Name)
+	}
+	// Output:
+	// perl
+	// golang-go
+}
+
+// Reverse dependents, in safe removal order.
+func ExampleCatalog_ReverseDependents() {
+	catalog := pkgdb.NewCatalog()
+	catalog.Add("test", &pkgdb.Package{Name: "libc"})
+	catalog.Add("test", &pkgdb.Package{Name: "ssl", Depends: []string{"libc"}})
+	catalog.Add("test", &pkgdb.Package{Name: "web", Depends: []string{"ssl"}})
+	rd, err := catalog.ReverseDependents("test", "libc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range rd {
+		fmt.Println(p.Name)
+	}
+	// Output:
+	// web
+	// ssl
+}

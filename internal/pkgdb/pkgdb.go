@@ -1,0 +1,237 @@
+// Package pkgdb is the package-metadata substrate of section 3.3: the
+// paper models a package resource as the directory tree plus file list the
+// package installs, obtained from apt-file/repoquery through a caching web
+// service. This package provides the same data in a standardized format
+// from a synthetic catalog (see DESIGN.md for the substitution argument),
+// an HTTP listing service, and a caching client.
+package pkgdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/fs"
+)
+
+// Errors reported by providers.
+var (
+	ErrUnknownPlatform = errors.New("pkgdb: unknown platform")
+	ErrUnknownPackage  = errors.New("pkgdb: unknown package")
+)
+
+// Package is the standardized package listing: the files and directories
+// the package installs and its direct dependencies.
+type Package struct {
+	Name    string   `json:"name"`
+	Version string   `json:"version"`
+	Files   []string `json:"files"`   // absolute paths of regular files
+	Dirs    []string `json:"dirs"`    // directories, ancestors included
+	Depends []string `json:"depends"` // direct dependencies
+}
+
+// Provider answers package-listing queries for a platform, mirroring the
+// endpoints of the paper's web service.
+type Provider interface {
+	// Lookup returns the listing of a single package.
+	Lookup(platform, name string) (*Package, error)
+	// Closure returns the package and its transitive dependencies in
+	// dependency order (dependencies before dependents).
+	Closure(platform, name string) ([]*Package, error)
+	// ReverseDependents returns the packages that transitively depend on
+	// name, in an order suitable for removal (dependents before
+	// dependencies).
+	ReverseDependents(platform, name string) ([]*Package, error)
+}
+
+// Catalog is an in-memory Provider.
+type Catalog struct {
+	platforms map[string]map[string]*Package
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{platforms: make(map[string]map[string]*Package)}
+}
+
+// Add registers a package. Directories are normalized: every ancestor of
+// every file and declared directory is added, sorted root-first, so the
+// resource compiler can create trees in order.
+func (c *Catalog) Add(platform string, p *Package) {
+	plat, ok := c.platforms[platform]
+	if !ok {
+		plat = make(map[string]*Package)
+		c.platforms[platform] = plat
+	}
+	cp := *p
+	cp.Files = append([]string(nil), p.Files...)
+	sort.Strings(cp.Files)
+	cp.Dirs = normalizeDirs(cp.Files, p.Dirs)
+	cp.Depends = append([]string(nil), p.Depends...)
+	sort.Strings(cp.Depends)
+	plat[p.Name] = &cp
+}
+
+func normalizeDirs(files, dirs []string) []string {
+	set := make(map[string]struct{})
+	addAncestors := func(p fs.Path) {
+		for _, a := range p.Ancestors() {
+			set[string(a)] = struct{}{}
+		}
+	}
+	for _, f := range files {
+		addAncestors(fs.ParsePath(f))
+	}
+	for _, d := range dirs {
+		p := fs.ParsePath(d)
+		if !p.IsRoot() {
+			set[string(p)] = struct{}{}
+		}
+		addAncestors(p)
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	// Root-first: shorter (ancestor) paths sort before their descendants
+	// under depth-then-lexicographic order.
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := fs.Path(out[i]).Depth(), fs.Path(out[j]).Depth()
+		if di != dj {
+			return di < dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Platforms returns the registered platform names, sorted.
+func (c *Catalog) Platforms() []string {
+	out := make([]string, 0, len(c.platforms))
+	for p := range c.platforms {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Packages returns the package names of a platform, sorted.
+func (c *Catalog) Packages(platform string) ([]string, error) {
+	plat, ok := c.platforms[platform]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlatform, platform)
+	}
+	out := make([]string, 0, len(plat))
+	for n := range plat {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Lookup implements Provider.
+func (c *Catalog) Lookup(platform, name string) (*Package, error) {
+	plat, ok := c.platforms[platform]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlatform, platform)
+	}
+	p, ok := plat[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on %q", ErrUnknownPackage, name, platform)
+	}
+	return p, nil
+}
+
+// Closure implements Provider: dependencies come before their dependents.
+func (c *Catalog) Closure(platform, name string) ([]*Package, error) {
+	var out []*Package
+	seen := make(map[string]bool)
+	var visit func(n string) error
+	visit = func(n string) error {
+		if seen[n] {
+			return nil
+		}
+		seen[n] = true
+		p, err := c.Lookup(platform, n)
+		if err != nil {
+			return err
+		}
+		for _, d := range p.Depends {
+			if err := visit(d); err != nil {
+				return fmt.Errorf("dependency of %q: %w", n, err)
+			}
+		}
+		out = append(out, p)
+		return nil
+	}
+	if err := visit(name); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReverseDependents implements Provider: every package whose dependency
+// closure includes name, ordered dependents-first (safe removal order),
+// excluding name itself.
+func (c *Catalog) ReverseDependents(platform, name string) ([]*Package, error) {
+	plat, ok := c.platforms[platform]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPlatform, platform)
+	}
+	if _, ok := plat[name]; !ok {
+		return nil, fmt.Errorf("%w: %q on %q", ErrUnknownPackage, name, platform)
+	}
+	// Build the reverse edge set restricted to this platform.
+	dependents := make(map[string][]string)
+	for n, p := range plat {
+		for _, d := range p.Depends {
+			dependents[d] = append(dependents[d], n)
+		}
+	}
+	// Collect the transitive dependents of name.
+	inSet := make(map[string]bool)
+	var collect func(n string)
+	collect = func(n string) {
+		for _, d := range dependents[n] {
+			if !inSet[d] {
+				inSet[d] = true
+				collect(d)
+			}
+		}
+	}
+	collect(name)
+
+	// Topologically order the set so that every dependent precedes the
+	// packages it depends on (safe removal order): DFS postorder over
+	// dependency edges within the set emits dependencies first; reversing
+	// yields dependents-first.
+	var post []string
+	visited := make(map[string]bool)
+	var visit func(n string)
+	visit = func(n string) {
+		visited[n] = true
+		deps := append([]string(nil), plat[n].Depends...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if inSet[d] && !visited[d] {
+				visit(d)
+			}
+		}
+		post = append(post, n)
+	}
+	roots := make([]string, 0, len(inSet))
+	for n := range inSet {
+		roots = append(roots, n)
+	}
+	sort.Strings(roots)
+	for _, n := range roots {
+		if !visited[n] {
+			visit(n)
+		}
+	}
+	out := make([]*Package, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, plat[post[i]])
+	}
+	return out, nil
+}

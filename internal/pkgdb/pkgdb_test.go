@@ -1,0 +1,249 @@
+package pkgdb
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fs"
+)
+
+func TestCatalogLookup(t *testing.T) {
+	c := DefaultCatalog()
+	p, err := c.Lookup("ubuntu", "apache2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "apache2" || p.Version == "" {
+		t.Errorf("bad package: %+v", p)
+	}
+	found := false
+	for _, f := range p.Files {
+		if f == "/etc/apache2/sites-available/000-default.conf" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("apache2 missing its default site config")
+	}
+	if _, err := c.Lookup("ubuntu", "no-such-pkg"); !errors.Is(err, ErrUnknownPackage) {
+		t.Errorf("want ErrUnknownPackage, got %v", err)
+	}
+	if _, err := c.Lookup("freebsd", "apache2"); !errors.Is(err, ErrUnknownPlatform) {
+		t.Errorf("want ErrUnknownPlatform, got %v", err)
+	}
+}
+
+func TestDirsNormalized(t *testing.T) {
+	c := NewCatalog()
+	c.Add("t", &Package{Name: "p", Files: []string{"/a/b/c/f", "/a/d"}})
+	p, err := c.Lookup("t", "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"/a": true, "/a/b": true, "/a/b/c": true}
+	if len(p.Dirs) != len(want) {
+		t.Fatalf("Dirs = %v", p.Dirs)
+	}
+	for _, d := range p.Dirs {
+		if !want[d] {
+			t.Errorf("unexpected dir %q", d)
+		}
+	}
+	// Root-first order: every ancestor precedes its descendants.
+	pos := map[string]int{}
+	for i, d := range p.Dirs {
+		pos[d] = i
+	}
+	for _, d := range p.Dirs {
+		for _, a := range fs.ParsePath(d).Ancestors() {
+			if pos[string(a)] > pos[d] {
+				t.Errorf("dir %q precedes its ancestor %q", d, a)
+			}
+		}
+	}
+}
+
+func TestClosure(t *testing.T) {
+	c := DefaultCatalog()
+	ps, err := c.Closure("ubuntu", "logstash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, p := range ps {
+		idx[p.Name] = i
+	}
+	jre, ok := idx["openjdk-7-jre-headless"]
+	if !ok {
+		t.Fatal("closure missing the JRE dependency")
+	}
+	if jre > idx["logstash"] {
+		t.Error("dependency must precede dependent")
+	}
+	// golang-go pulls in perl (the fig-3c quirk).
+	ps, err = c.Closure("ubuntu", "golang-go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Name != "perl" || ps[1].Name != "golang-go" {
+		names := make([]string, len(ps))
+		for i, p := range ps {
+			names[i] = p.Name
+		}
+		t.Errorf("golang-go closure = %v", names)
+	}
+}
+
+func TestReverseDependents(t *testing.T) {
+	c := DefaultCatalog()
+	ps, err := c.ReverseDependents("ubuntu", "perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+	}
+	// Direct dependents...
+	for _, want := range []string{"golang-go", "git", "spamassassin"} {
+		if !names[want] {
+			t.Errorf("revdeps(perl) missing %q", want)
+		}
+	}
+	// ...and transitive ones (amavisd-new → spamassassin → perl).
+	if !names["amavisd-new"] {
+		t.Error("revdeps(perl) missing transitive dependent amavisd-new")
+	}
+	if names["perl"] {
+		t.Error("revdeps must exclude the package itself")
+	}
+	// Removal order: a dependent appears before its own dependencies.
+	pos := map[string]int{}
+	for i, p := range ps {
+		pos[p.Name] = i
+	}
+	if pos["amavisd-new"] > pos["spamassassin"] {
+		t.Error("amavisd-new must be removed before spamassassin")
+	}
+}
+
+func TestPlatformsAndPackages(t *testing.T) {
+	c := DefaultCatalog()
+	plats := c.Platforms()
+	if len(plats) != 2 || plats[0] != "centos" || plats[1] != "ubuntu" {
+		t.Errorf("Platforms = %v", plats)
+	}
+	names, err := c.Packages("ubuntu")
+	if err != nil || len(names) < 20 {
+		t.Errorf("Packages: %d, err=%v", len(names), err)
+	}
+	if _, err := c.Packages("freebsd"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestGitIsLarge(t *testing.T) {
+	// The paper notes git has over 500 files; the synthetic catalog
+	// preserves that scale for the pruning benchmarks.
+	c := DefaultCatalog()
+	p, err := c.Lookup("ubuntu", "git")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Files) < 500 {
+		t.Errorf("git has %d files, want ≥ 500", len(p.Files))
+	}
+}
+
+func TestServerAndClient(t *testing.T) {
+	srv := httptest.NewServer(Handler(DefaultCatalog()))
+	defer srv.Close()
+	cl := NewClient(srv.URL, srv.Client())
+
+	p, err := cl.Lookup("ubuntu", "nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "nginx" || len(p.Files) == 0 || len(p.Dirs) == 0 {
+		t.Errorf("bad package over HTTP: %+v", p)
+	}
+	// Cache: a second lookup must return the same pointer (no refetch).
+	p2, err := cl.Lookup("ubuntu", "nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != p2 {
+		t.Error("client did not cache")
+	}
+
+	ps, err := cl.Closure("ubuntu", "nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].Name != "nginx-common" {
+		t.Errorf("closure over HTTP: %v", ps)
+	}
+
+	rd, err := cl.ReverseDependents("ubuntu", "perl")
+	if err != nil || len(rd) == 0 {
+		t.Errorf("revdeps over HTTP: %v, %v", rd, err)
+	}
+
+	if _, err := cl.Lookup("ubuntu", "no-such"); !errors.Is(err, ErrUnknownPackage) {
+		t.Errorf("missing package error: %v", err)
+	}
+	if _, err := cl.Lookup("freebsd", "nginx"); !errors.Is(err, ErrUnknownPlatform) {
+		t.Errorf("missing platform error: %v", err)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler(DefaultCatalog()))
+	defer srv.Close()
+	for _, path := range []string{
+		"/v1/platforms",
+		"/v1/ubuntu/packages",
+		"/v1/ubuntu/package/vim",
+		"/v1/ubuntu/closure/gcc",
+		"/v1/ubuntu/revdeps/make",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %s", path, resp.Status)
+		}
+		resp.Body.Close()
+	}
+	// Unknown routes 404; POST is rejected.
+	resp, _ := srv.Client().Get(srv.URL + "/v1/bogus")
+	if resp.StatusCode != 404 {
+		t.Errorf("bogus route: %s", resp.Status)
+	}
+	resp.Body.Close()
+	resp, _ = srv.Client().Post(srv.URL+"/v1/platforms", "text/plain", strings.NewReader("x"))
+	if resp.StatusCode != 405 {
+		t.Errorf("POST: %s", resp.Status)
+	}
+	resp.Body.Close()
+}
+
+// Every package's dependencies must resolve within its own platform, so
+// Closure never fails at resource-compile time.
+func TestCatalogDependenciesResolve(t *testing.T) {
+	c := DefaultCatalog()
+	for _, plat := range c.Platforms() {
+		names, err := c.Packages(plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range names {
+			if _, err := c.Closure(plat, n); err != nil {
+				t.Errorf("%s/%s: %v", plat, n, err)
+			}
+		}
+	}
+}

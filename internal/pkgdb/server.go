@@ -1,0 +1,76 @@
+package pkgdb
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Handler serves package listings over HTTP in the standardized JSON
+// format, mirroring the paper's portable package-listing web service:
+//
+//	GET /v1/platforms                     → ["centos","ubuntu"]
+//	GET /v1/{platform}/packages           → ["apache2", ...]
+//	GET /v1/{platform}/package/{name}     → Package
+//	GET /v1/{platform}/closure/{name}     → [Package, ...] (deps first)
+//	GET /v1/{platform}/revdeps/{name}     → [Package, ...] (dependents first)
+func Handler(c *Catalog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/")
+		parts := strings.Split(strings.Trim(rest, "/"), "/")
+		switch {
+		case len(parts) == 1 && parts[0] == "platforms":
+			writeJSON(w, c.Platforms())
+		case len(parts) == 2 && parts[1] == "packages":
+			names, err := c.Packages(parts[0])
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, names)
+		case len(parts) == 3 && parts[1] == "package":
+			p, err := c.Lookup(parts[0], parts[2])
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, p)
+		case len(parts) == 3 && parts[1] == "closure":
+			ps, err := c.Closure(parts[0], parts[2])
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, ps)
+		case len(parts) == 3 && parts[1] == "revdeps":
+			ps, err := c.ReverseDependents(parts[0], parts[2])
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, ps)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, ErrUnknownPackage) || errors.Is(err, ErrUnknownPlatform) {
+		status = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), status)
+}

@@ -1,0 +1,257 @@
+package prune
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/sym"
+)
+
+func TestDefinitiveWritesBasics(t *testing.T) {
+	e := fs.SeqAll(
+		fs.Mkdir{Path: "/d"},
+		fs.Creat{Path: "/d/f", Content: "x"},
+		fs.Rm{Path: "/g"},
+	)
+	w := DefinitiveWrites(e)
+	if w["/d"].Kind != AbsDir {
+		t.Errorf("/d = %v", w["/d"])
+	}
+	if v := w["/d/f"]; v.Kind != AbsFile || !v.ContentKnown || v.Content != "x" {
+		t.Errorf("/d/f = %v", v)
+	}
+	if w["/g"].Kind != AbsDne {
+		t.Errorf("/g = %v", w["/g"])
+	}
+	if _, ok := w["/untouched"]; ok {
+		t.Error("untouched path present")
+	}
+	if !w["/d"].Definitive() || !w["/d/f"].Definitive() || !w["/g"].Definitive() {
+		t.Error("Definitive() wrong")
+	}
+}
+
+func TestDefinitiveWritesBranches(t *testing.T) {
+	cond := fs.IsFile{Path: "/flag"}
+	// Both branches write the same value: definitive.
+	e := fs.If{A: cond, Then: fs.Creat{Path: "/f", Content: "x"},
+		Else: fs.Creat{Path: "/f", Content: "x"}}
+	if v := DefinitiveWrites(e)["/f"]; v.Kind != AbsFile || !v.ContentKnown {
+		t.Errorf("same-branch write = %v", v)
+	}
+	// Different contents: file with unknown content — not definitive.
+	e2 := fs.If{A: cond, Then: fs.Creat{Path: "/f", Content: "x"},
+		Else: fs.Creat{Path: "/f", Content: "y"}}
+	if v := DefinitiveWrites(e2)["/f"]; v.Kind != AbsFile || v.ContentKnown || v.Definitive() {
+		t.Errorf("diverging contents = %v", v)
+	}
+	// Written on one branch only: indeterminate.
+	e3 := fs.If{A: cond, Then: fs.Creat{Path: "/f", Content: "x"}, Else: fs.Id{}}
+	if v := DefinitiveWrites(e3)["/f"]; v.Kind != AbsTop {
+		t.Errorf("one-branch write = %v", v)
+	}
+	// Error branches are unreachable on success: write remains definitive.
+	e4 := fs.If{A: cond, Then: fs.Creat{Path: "/f", Content: "x"}, Else: fs.Err{}}
+	if v := DefinitiveWrites(e4)["/f"]; v.Kind != AbsFile || !v.ContentKnown {
+		t.Errorf("err-else write = %v", v)
+	}
+	// The guarded-creation idiom: definitive dir.
+	if v := DefinitiveWrites(fs.MkdirIfMissing("/d"))["/d"]; v.Kind != AbsDir {
+		t.Errorf("guarded mkdir = %v", v)
+	}
+}
+
+func TestDefinitiveWritesSequenceOverride(t *testing.T) {
+	e := fs.SeqAll(fs.Creat{Path: "/f", Content: "x"}, fs.Rm{Path: "/f"})
+	if v := DefinitiveWrites(e)["/f"]; v.Kind != AbsDne {
+		t.Errorf("overridden write = %v", v)
+	}
+	// Definite error makes the suffix unreachable.
+	e2 := fs.SeqAll(fs.Err{}, fs.Creat{Path: "/f", Content: "x"})
+	if _, ok := DefinitiveWrites(e2)["/f"]; ok {
+		t.Error("write after definite error recorded")
+	}
+	if v := DefinitiveWrites(fs.Cp{Src: "/s", Dst: "/f"})["/f"]; v.Kind != AbsFile || v.ContentKnown {
+		t.Errorf("cp dst = %v", v)
+	}
+}
+
+// The paper's pruning example (section 4.4):
+//
+//	mkdir(p); if (dir?(p)) id else err ≡ mkdir(p)
+//
+// and pruning p from both sides preserves the equivalence.
+func TestPaperPruneExample(t *testing.T) {
+	p := fs.Path("/a/b")
+	e1 := fs.Seq{E1: fs.Mkdir{Path: p}, E2: fs.If{A: fs.IsDir{Path: p}, Then: fs.Id{}, Else: fs.Err{}}}
+	e2 := fs.Mkdir{Path: p}
+	p1, ok1 := Prune(p, e1)
+	p2, ok2 := Prune(p, e2)
+	if !ok1 || !ok2 {
+		t.Fatalf("prune failed: %v %v", ok1, ok2)
+	}
+	eq, cex, err := sym.Equiv(p1, p2, sym.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("pruned expressions differ:\np1=%s\np2=%s\n%s", fs.String(p1), fs.String(p2), cex)
+	}
+	// The naive rewrite (dropping mkdir to id without residualizing the
+	// read) would be wrong; check the residual still reads p's guard:
+	// pruned e1 must error when p's parent is not a directory.
+	_, ok := fs.Eval(p1, fs.NewState())
+	if ok {
+		t.Error("residual lost the parent-directory precondition")
+	}
+}
+
+func TestPruneRemovesWrites(t *testing.T) {
+	p := fs.Path("/pkg/file")
+	e := fs.SeqAll(
+		fs.MkdirIfMissing("/pkg"),
+		fs.Creat{Path: p, Content: "payload"},
+	)
+	pruned, ok := Prune(p, e)
+	if !ok {
+		t.Fatal("prune failed")
+	}
+	in := fs.State{"/pkg": fs.DirContent()}
+	out, evalOK := fs.Eval(pruned, in)
+	if !evalOK {
+		t.Fatalf("pruned program errored: %s", fs.String(pruned))
+	}
+	if out.Exists(p) {
+		t.Errorf("pruned program still writes %s: %s", p, fs.StateString(out))
+	}
+	// Error behavior must be preserved: original errors when /pkg/file
+	// already exists (creat), so must the residual.
+	in2 := fs.State{"/pkg": fs.DirContent(), p: fs.FileContent("old")}
+	_, origOK := fs.Eval(e, in2)
+	_, prunedOK := fs.Eval(pruned, in2)
+	if origOK != prunedOK {
+		t.Errorf("error behavior diverged: orig=%v pruned=%v", origOK, prunedOK)
+	}
+}
+
+func TestPruneAbortsOnEmptydirOfWritten(t *testing.T) {
+	p := fs.Path("/d")
+	e := fs.SeqAll(
+		fs.Mkdir{Path: p},
+		fs.If{A: fs.IsEmptyDir{Path: p}, Then: fs.Id{}, Else: fs.Err{}},
+	)
+	if _, ok := Prune(p, e); ok {
+		t.Error("pruning should abort: emptiness of a dropped mkdir is unobservable")
+	}
+}
+
+func TestPruneCpKnownContent(t *testing.T) {
+	p := fs.Path("/src")
+	e := fs.SeqAll(
+		fs.Creat{Path: p, Content: "data"},
+		fs.Cp{Src: p, Dst: "/dst"},
+	)
+	pruned, ok := Prune(p, e)
+	if !ok {
+		t.Fatal("prune failed")
+	}
+	out, evalOK := fs.Eval(pruned, fs.NewState())
+	if !evalOK {
+		t.Fatalf("pruned errored: %s", fs.String(pruned))
+	}
+	if c, present := out["/dst"]; !present || c != fs.FileContent("data") {
+		t.Errorf("cp not folded to creat: %s", fs.StateString(out))
+	}
+	if out.Exists(p) {
+		t.Error("src still written")
+	}
+}
+
+func TestPruneCpUnknownContentAborts(t *testing.T) {
+	p := fs.Path("/mid")
+	e := fs.SeqAll(
+		fs.Cp{Src: "/orig", Dst: p}, // p's content now input-dependent
+		fs.Cp{Src: p, Dst: "/dst"},  // and must be materialized: abort
+	)
+	if _, ok := Prune(p, e); ok {
+		t.Error("pruning should abort on unknown-content copy-through")
+	}
+}
+
+// equalExcept reports deep equality of two states ignoring path p.
+func equalExcept(a, b fs.State, p fs.Path) bool {
+	for q, c := range a {
+		if q == p {
+			continue
+		}
+		if oc, ok := b[q]; !ok || oc != c {
+			return false
+		}
+	}
+	for q := range b {
+		if q == p {
+			continue
+		}
+		if _, ok := a[q]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPruneSoundOnRandomPrograms is the property test for the pruning
+// transformation: on every input, the pruned program has the same error
+// behavior, the same final state away from p, and never writes p.
+func TestPruneSoundOnRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	cfg := fs.DefaultGenConfig()
+	prunedCount := 0
+	for trial := 0; trial < 400; trial++ {
+		e := fs.GenExpr(r, cfg, 4)
+		p := cfg.Paths[r.Intn(len(cfg.Paths))]
+		pruned, ok := Prune(p, e)
+		if !ok {
+			continue
+		}
+		prunedCount++
+		for i := 0; i < 120; i++ {
+			in := fs.GenState(r, cfg)
+			origOut, origOK := fs.Eval(e, in)
+			prunedOut, prunedOK := fs.Eval(pruned, in)
+			if origOK != prunedOK {
+				t.Fatalf("trial %d: error behavior diverged on %s\np=%s\ne=%s\npruned=%s",
+					trial, fs.StateString(in), p, fs.String(e), fs.String(pruned))
+			}
+			if !origOK {
+				continue
+			}
+			if !equalExcept(origOut, prunedOut, p) {
+				t.Fatalf("trial %d: states diverge away from %s\nin=%s\ne=%s\npruned=%s\norig=%s\npruned=%s",
+					trial, p, fs.StateString(in), fs.String(e), fs.String(pruned),
+					fs.StateString(origOut), fs.StateString(prunedOut))
+			}
+			// The pruned program must leave p exactly as it was.
+			ic, iok := in[p]
+			oc, ook := prunedOut[p]
+			if iok != ook || (iok && ic != oc) {
+				t.Fatalf("trial %d: pruned program wrote %s\ne=%s\npruned=%s",
+					trial, p, fs.String(e), fs.String(pruned))
+			}
+		}
+	}
+	if prunedCount == 0 {
+		t.Error("no successful prunes; property vacuous")
+	}
+	t.Logf("verified %d pruned programs", prunedCount)
+}
+
+func TestAbsKindString(t *testing.T) {
+	for k, want := range map[AbsKind]string{
+		AbsBot: "⊥", AbsDir: "dir", AbsFile: "file", AbsDne: "dne", AbsTop: "⊤",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

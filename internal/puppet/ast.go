@@ -1,0 +1,323 @@
+package puppet
+
+// Expr is a Puppet expression.
+type Expr interface {
+	isExpr()
+	Position() Pos
+}
+
+// StrExpr is a string literal, possibly with interpolation parts.
+type StrExpr struct {
+	Parts []StringPart
+	Pos   Pos
+}
+
+// NumExpr is a numeric literal.
+type NumExpr struct {
+	Text string
+	Pos  Pos
+}
+
+// BoolExpr is true or false.
+type BoolExpr struct {
+	V   bool
+	Pos Pos
+}
+
+// UndefExpr is the undef literal.
+type UndefExpr struct{ Pos Pos }
+
+// VarExpr references a variable.
+type VarExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// ArrayExpr is [e1, e2, ...].
+type ArrayExpr struct {
+	Elems []Expr
+	Pos   Pos
+}
+
+// HashPair is one k => v entry of a hash.
+type HashPair struct {
+	Key, Value Expr
+}
+
+// HashExpr is {k => v, ...}.
+type HashExpr struct {
+	Pairs []HashPair
+	Pos   Pos
+}
+
+// RefExpr is a resource reference like Package['vim'] (one or more titles).
+type RefExpr struct {
+	Type   string // normalized lowercase resource type name
+	Titles []Expr
+	Pos    Pos
+}
+
+// IndexExpr is subscripting: $hash['key'] or $array[0].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	Pos   Pos
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpEq BinOp = iota
+	OpNeq
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+	OpAnd
+	OpOr
+	OpIn
+)
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+	Pos  Pos
+}
+
+// NotExpr is !x.
+type NotExpr struct {
+	X   Expr
+	Pos Pos
+}
+
+// SelCase is one arm of a selector; Match == nil is the default arm.
+type SelCase struct {
+	Match Expr
+	Value Expr
+}
+
+// SelectorExpr is cond ? { m1 => v1, default => v2 }.
+type SelectorExpr struct {
+	Cond  Expr
+	Cases []SelCase
+	Pos   Pos
+}
+
+// DefinedExpr is defined(Type['title']).
+type DefinedExpr struct {
+	Ref RefExpr
+	Pos Pos
+}
+
+func (e StrExpr) isExpr()      {}
+func (e NumExpr) isExpr()      {}
+func (e BoolExpr) isExpr()     {}
+func (e UndefExpr) isExpr()    {}
+func (e VarExpr) isExpr()      {}
+func (e ArrayExpr) isExpr()    {}
+func (e HashExpr) isExpr()     {}
+func (e RefExpr) isExpr()      {}
+func (e IndexExpr) isExpr()    {}
+func (e BinExpr) isExpr()      {}
+func (e NotExpr) isExpr()      {}
+func (e SelectorExpr) isExpr() {}
+func (e DefinedExpr) isExpr()  {}
+
+// Position implements Expr.
+func (e StrExpr) Position() Pos      { return e.Pos }
+func (e NumExpr) Position() Pos      { return e.Pos }
+func (e BoolExpr) Position() Pos     { return e.Pos }
+func (e UndefExpr) Position() Pos    { return e.Pos }
+func (e VarExpr) Position() Pos      { return e.Pos }
+func (e ArrayExpr) Position() Pos    { return e.Pos }
+func (e HashExpr) Position() Pos     { return e.Pos }
+func (e RefExpr) Position() Pos      { return e.Pos }
+func (e IndexExpr) Position() Pos    { return e.Pos }
+func (e BinExpr) Position() Pos      { return e.Pos }
+func (e NotExpr) Position() Pos      { return e.Pos }
+func (e SelectorExpr) Position() Pos { return e.Pos }
+func (e DefinedExpr) Position() Pos  { return e.Pos }
+
+// Stmt is a Puppet statement.
+type Stmt interface {
+	isStmt()
+	Position() Pos
+}
+
+// Attr is one attribute assignment in a resource body or defaults block.
+type Attr struct {
+	Name  string
+	Value Expr
+	Pos   Pos
+}
+
+// ResourceBody is one title: attrs... body of a resource declaration.
+type ResourceBody struct {
+	Title Expr
+	Attrs []Attr
+}
+
+// ResourceDecl declares one or more resources of a type (possibly virtual,
+// possibly "class" for class resource syntax).
+type ResourceDecl struct {
+	Virtual bool
+	Type    string
+	Bodies  []ResourceBody
+	Pos     Pos
+}
+
+// DefaultsDecl is a resource-defaults block: File { mode => '0644' }.
+type DefaultsDecl struct {
+	Type  string
+	Attrs []Attr
+	Pos   Pos
+}
+
+// Param is a class/define parameter with optional default.
+type Param struct {
+	Name    string
+	Default Expr // nil when required
+}
+
+// DefineDecl declares a user-defined resource type.
+type DefineDecl struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+	Pos    Pos
+}
+
+// ClassDecl declares a class.
+type ClassDecl struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+	Pos    Pos
+}
+
+// IncludeStmt includes one or more classes.
+type IncludeStmt struct {
+	Names []string
+	Pos   Pos
+}
+
+// AssignStmt assigns a variable.
+type AssignStmt struct {
+	Name  string
+	Value Expr
+	Pos   Pos
+}
+
+// IfStmt is if/elsif/else (elsif chains are nested in Else).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Pos  Pos
+}
+
+// CaseClause is one arm of a case statement; Matches == nil is default.
+type CaseClause struct {
+	Matches []Expr
+	Body    []Stmt
+}
+
+// CaseStmt is a case statement.
+type CaseStmt struct {
+	Cond  Expr
+	Cases []CaseClause
+	Pos   Pos
+}
+
+// ChainOp is -> or ~>.
+type ChainOp int
+
+// Chaining operators; notify edges are dependency edges with refresh
+// semantics, which the analysis treats identically (section 3.1).
+const (
+	ChainBefore ChainOp = iota // ->
+	ChainNotify                // ~>
+)
+
+// ChainElem is one operand of a chaining expression: either a resource
+// reference or an inline resource declaration
+// (package { 'ntp': } -> service { 'ntp': }).
+type ChainElem struct {
+	Ref  *RefExpr
+	Decl *ResourceDecl
+}
+
+// ChainStmt is elem -> elem -> ... (n elems, n-1 ops).
+type ChainStmt struct {
+	Elems []ChainElem
+	Ops   []ChainOp
+	Pos   Pos
+}
+
+// NodeDecl is a node block: node 'web01', 'web02' { ... }. The special
+// name "default" matches when no other node block does.
+type NodeDecl struct {
+	Names []string
+	Body  []Stmt
+	Pos   Pos
+}
+
+// RealizeStmt realizes virtual resources: realize User['alice'].
+type RealizeStmt struct {
+	Refs []RefExpr
+	Pos  Pos
+}
+
+// FailStmt aborts evaluation with a message: fail('unsupported OS').
+type FailStmt struct {
+	Message Expr
+	Pos     Pos
+}
+
+// CollQuery is the query of a collector; nil Query collects everything
+// (realizing all virtual resources of the type).
+type CollQuery struct {
+	Attr  string
+	Neq   bool // true for !=, false for ==
+	Value Expr
+}
+
+// CollectorStmt is Type<| query |> { overrides }.
+type CollectorStmt struct {
+	Type      string
+	Query     *CollQuery
+	Overrides []Attr
+	Pos       Pos
+}
+
+func (s ResourceDecl) isStmt()  {}
+func (s DefaultsDecl) isStmt()  {}
+func (s DefineDecl) isStmt()    {}
+func (s ClassDecl) isStmt()     {}
+func (s IncludeStmt) isStmt()   {}
+func (s AssignStmt) isStmt()    {}
+func (s IfStmt) isStmt()        {}
+func (s CaseStmt) isStmt()      {}
+func (s ChainStmt) isStmt()     {}
+func (s CollectorStmt) isStmt() {}
+func (s NodeDecl) isStmt()      {}
+func (s RealizeStmt) isStmt()   {}
+func (s FailStmt) isStmt()      {}
+
+// Position implements Stmt.
+func (s ResourceDecl) Position() Pos  { return s.Pos }
+func (s DefaultsDecl) Position() Pos  { return s.Pos }
+func (s DefineDecl) Position() Pos    { return s.Pos }
+func (s ClassDecl) Position() Pos     { return s.Pos }
+func (s IncludeStmt) Position() Pos   { return s.Pos }
+func (s AssignStmt) Position() Pos    { return s.Pos }
+func (s IfStmt) Position() Pos        { return s.Pos }
+func (s CaseStmt) Position() Pos      { return s.Pos }
+func (s ChainStmt) Position() Pos     { return s.Pos }
+func (s CollectorStmt) Position() Pos { return s.Pos }
+func (s NodeDecl) Position() Pos      { return s.Pos }
+func (s RealizeStmt) Position() Pos   { return s.Pos }
+func (s FailStmt) Position() Pos      { return s.Pos }

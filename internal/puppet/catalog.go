@@ -1,0 +1,181 @@
+package puppet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Resource is a fully-evaluated resource instance.
+type Resource struct {
+	Type    string // normalized lowercase: file, package, user, ...
+	Title   string
+	Attrs   map[string]Value
+	Virtual bool   // declared with @; excluded unless realized
+	Stage   string // run stage, default "main"
+	// Container is the chain of enclosing class/define instances, innermost
+	// last; empty for top-level resources.
+	Container []string
+	Pos       Pos
+}
+
+// Key returns the canonical identity "type[title]".
+func (r *Resource) Key() string { return resourceKey(r.Type, r.Title) }
+
+func resourceKey(typ, title string) string {
+	return typ + "[" + strings.ToLower(title) + "]"
+}
+
+// String renders the resource reference as Puppet would: Type[title].
+func (r *Resource) String() string { return titleCase(r.Type) + "[" + r.Title + "]" }
+
+// Attr returns an attribute value, or nil when unset.
+func (r *Resource) Attr(name string) Value { return r.Attrs[name] }
+
+// AttrString returns a string-coerced attribute, with ok=false when unset
+// or undef.
+func (r *Resource) AttrString(name string) (string, bool) {
+	v, ok := r.Attrs[name]
+	if !ok {
+		return "", false
+	}
+	if _, isUndef := v.(UndefV); isUndef {
+		return "", false
+	}
+	return ValueString(v), true
+}
+
+// DepKind distinguishes ordering-only edges from refresh edges. Rehearsal
+// treats both as ordering constraints (section 3.1).
+type DepKind int
+
+// Dependency edge kinds.
+const (
+	DepBefore DepKind = iota // before/require/-> edges
+	DepNotify                // notify/subscribe/~> edges
+)
+
+// Dep is a dependency edge between resource references (possibly referring
+// to classes or define instances, which expand to their contents).
+type Dep struct {
+	From RefV
+	To   RefV
+	Kind DepKind
+	Pos  Pos
+}
+
+// Catalog is the result of evaluating a manifest: resources, dependency
+// edges and containment information.
+type Catalog struct {
+	Resources []*Resource
+	Deps      []Dep
+
+	index map[string]*Resource
+	// members maps a container id (e.g. "class[nginx]" or "myuser[alice]")
+	// to the keys of the resources it transitively contains.
+	members map[string][]string
+}
+
+func newCatalog() *Catalog {
+	return &Catalog{
+		index:   make(map[string]*Resource),
+		members: make(map[string][]string),
+	}
+}
+
+// Lookup finds a resource by type and title; nil when absent.
+func (c *Catalog) Lookup(typ, title string) *Resource {
+	return c.index[resourceKey(typ, title)]
+}
+
+// Realized returns the non-virtual resources, excluding stage resources
+// (which order other resources but are not applied themselves).
+func (c *Catalog) Realized() []*Resource {
+	var out []*Resource
+	for _, r := range c.Resources {
+		if !r.Virtual && r.Type != "stage" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Stages returns the declared stage resources.
+func (c *Catalog) Stages() []*Resource {
+	var out []*Resource
+	for _, r := range c.Resources {
+		if r.Type == "stage" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (c *Catalog) add(r *Resource) error {
+	key := r.Key()
+	if prev, ok := c.index[key]; ok {
+		return errf(r.Pos, "duplicate declaration of %s (first declared at %s)", r, prev.Pos)
+	}
+	c.index[key] = r
+	c.Resources = append(c.Resources, r)
+	for _, container := range r.Container {
+		c.members[container] = append(c.members[container], key)
+	}
+	return nil
+}
+
+// IsContainer reports whether the reference names a class or define
+// instance rather than a primitive resource.
+func (c *Catalog) IsContainer(ref RefV) bool {
+	_, ok := c.members[resourceKey(ref.Type, ref.Title)]
+	return ok
+}
+
+// Expand resolves a reference to concrete resources: a primitive reference
+// resolves to itself; a class or define-instance reference expands to every
+// resource it contains.
+func (c *Catalog) Expand(ref RefV) ([]*Resource, error) {
+	key := resourceKey(ref.Type, ref.Title)
+	if r, ok := c.index[key]; ok {
+		if r.Virtual {
+			return nil, fmt.Errorf("reference %s targets an unrealized virtual resource", ValueString(ref))
+		}
+		return []*Resource{r}, nil
+	}
+	if keys, ok := c.members[key]; ok {
+		out := make([]*Resource, 0, len(keys))
+		for _, k := range keys {
+			r := c.index[k]
+			if r.Virtual || r.Type == "stage" {
+				continue
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("reference %s does not match any declared resource", ValueString(ref))
+}
+
+// Summary renders a sorted one-line-per-resource overview, for debugging
+// and tests.
+func (c *Catalog) Summary() string {
+	lines := make([]string, 0, len(c.Resources))
+	for _, r := range c.Resources {
+		attrs := make([]string, 0, len(r.Attrs))
+		for k := range r.Attrs {
+			attrs = append(attrs, k)
+		}
+		sort.Strings(attrs)
+		var b strings.Builder
+		if r.Virtual {
+			b.WriteString("@")
+		}
+		b.WriteString(r.String())
+		for _, a := range attrs {
+			fmt.Fprintf(&b, " %s=%s", a, ValueString(r.Attrs[a]))
+		}
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,982 @@
+package puppet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config parameterizes evaluation. Facts are predefined top-scope
+// variables such as operatingsystem; Rehearsal sets them from the
+// --platform flag (section 8: the analysis is platform-dependent).
+// NodeName selects which node block applies (default "default").
+type Config struct {
+	Facts    map[string]Value
+	NodeName string
+}
+
+// maxDepth bounds define/class instantiation recursion.
+const maxDepth = 100
+
+// Evaluate runs a parsed manifest and produces its resource catalog.
+func Evaluate(stmts []Stmt, cfg Config) (*Catalog, error) {
+	nodeName := strings.ToLower(cfg.NodeName)
+	if nodeName == "" {
+		nodeName = "default"
+	}
+	ev := &evaluator{
+		cat:      newCatalog(),
+		defines:  make(map[string]DefineDecl),
+		classes:  make(map[string]ClassDecl),
+		included: make(map[string]bool),
+		facts:    cfg.Facts,
+		nodeName: nodeName,
+	}
+	if err := ev.collectDecls(stmts); err != nil {
+		return nil, err
+	}
+	top := &frame{vars: make(map[string]Value), defaults: make(map[string]map[string]Value)}
+	ev.top = top
+	if err := ev.stmts(stmts, top); err != nil {
+		return nil, err
+	}
+	if err := ev.applyRealizes(); err != nil {
+		return nil, err
+	}
+	if err := ev.applyCollectors(); err != nil {
+		return nil, err
+	}
+	return ev.cat, nil
+}
+
+// applyRealizes resolves realize statements after the whole manifest has
+// been evaluated, since the virtual resources may be declared later.
+func (ev *evaluator) applyRealizes() error {
+	for _, req := range ev.toRealize {
+		r := ev.cat.Lookup(req.ref.Type, req.ref.Title)
+		if r == nil {
+			return errf(req.pos, "realize: %s is not declared", ValueString(req.ref))
+		}
+		r.Virtual = false
+	}
+	return nil
+}
+
+// EvaluateSource parses and evaluates a manifest.
+func EvaluateSource(src string, cfg Config) (*Catalog, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Evaluate(stmts, cfg)
+}
+
+// frame is a lexical scope with resource defaults and containment context.
+type frame struct {
+	parent    *frame
+	vars      map[string]Value
+	defaults  map[string]map[string]Value
+	container []string
+	stage     string
+}
+
+func (f *frame) lookup(name string) (Value, bool) {
+	// ::name forces top-scope lookup.
+	top := strings.HasPrefix(name, "::")
+	name = strings.TrimPrefix(name, "::")
+	for s := f; s != nil; s = s.parent {
+		if top && s.parent != nil {
+			continue
+		}
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+type pendingCollector struct {
+	typ       string
+	query     *evaluatedQuery
+	overrides map[string]Value
+	pos       Pos
+}
+
+type evaluatedQuery struct {
+	attr  string
+	neq   bool
+	value Value
+}
+
+type realizeReq struct {
+	ref RefV
+	pos Pos
+}
+
+type evaluator struct {
+	cat          *Catalog
+	defines      map[string]DefineDecl
+	classes      map[string]ClassDecl
+	included     map[string]bool
+	collectors   []pendingCollector
+	toRealize    []realizeReq
+	facts        map[string]Value
+	top          *frame
+	depth        int
+	nodeName     string
+	hasExactNode bool
+}
+
+// collectDecls registers class and define declarations, recursing into
+// conditional bodies.
+func (ev *evaluator) collectDecls(stmts []Stmt) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case DefineDecl:
+			if _, dup := ev.defines[s.Name]; dup {
+				return errf(s.Pos, "duplicate definition of resource type %q", s.Name)
+			}
+			if _, dup := ev.classes[s.Name]; dup {
+				return errf(s.Pos, "%q is already a class", s.Name)
+			}
+			ev.defines[s.Name] = s
+			if err := ev.collectDecls(s.Body); err != nil {
+				return err
+			}
+		case ClassDecl:
+			if _, dup := ev.classes[s.Name]; dup {
+				return errf(s.Pos, "duplicate definition of class %q", s.Name)
+			}
+			if _, dup := ev.defines[s.Name]; dup {
+				return errf(s.Pos, "%q is already a defined type", s.Name)
+			}
+			ev.classes[s.Name] = s
+			if err := ev.collectDecls(s.Body); err != nil {
+				return err
+			}
+		case IfStmt:
+			if err := ev.collectDecls(s.Then); err != nil {
+				return err
+			}
+			if err := ev.collectDecls(s.Else); err != nil {
+				return err
+			}
+		case CaseStmt:
+			for _, c := range s.Cases {
+				if err := ev.collectDecls(c.Body); err != nil {
+					return err
+				}
+			}
+		case NodeDecl:
+			for _, n := range s.Names {
+				if n == ev.nodeName && n != "default" {
+					ev.hasExactNode = true
+				}
+			}
+			if err := ev.collectDecls(s.Body); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) stmts(stmts []Stmt, f *frame) error {
+	for _, s := range stmts {
+		if err := ev.stmt(s, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) stmt(s Stmt, f *frame) error {
+	switch s := s.(type) {
+	case DefineDecl, ClassDecl:
+		return nil // registered in collectDecls
+	case ResourceDecl:
+		return ev.resourceDecl(s, f)
+	case DefaultsDecl:
+		attrs, err := ev.attrValues(s.Attrs, f)
+		if err != nil {
+			return err
+		}
+		d := f.defaults[s.Type]
+		if d == nil {
+			d = make(map[string]Value)
+			f.defaults[s.Type] = d
+		}
+		for k, v := range attrs {
+			d[k] = v
+		}
+		return nil
+	case IncludeStmt:
+		for _, name := range s.Names {
+			if err := ev.includeClass(name, nil, s.Pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	case AssignStmt:
+		if _, exists := f.vars[s.Name]; exists {
+			return errf(s.Pos, "cannot reassign variable $%s", s.Name)
+		}
+		v, err := ev.expr(s.Value, f)
+		if err != nil {
+			return err
+		}
+		f.vars[s.Name] = v
+		return nil
+	case IfStmt:
+		cond, err := ev.expr(s.Cond, f)
+		if err != nil {
+			return err
+		}
+		if Truthy(cond) {
+			return ev.stmts(s.Then, f)
+		}
+		return ev.stmts(s.Else, f)
+	case CaseStmt:
+		cond, err := ev.expr(s.Cond, f)
+		if err != nil {
+			return err
+		}
+		var defaultBody []Stmt
+		for _, c := range s.Cases {
+			if c.Matches == nil {
+				defaultBody = c.Body
+				continue
+			}
+			for _, m := range c.Matches {
+				mv, err := ev.expr(m, f)
+				if err != nil {
+					return err
+				}
+				if ValueEq(cond, mv) {
+					return ev.stmts(c.Body, f)
+				}
+			}
+		}
+		return ev.stmts(defaultBody, f)
+	case ChainStmt:
+		return ev.chain(s, f)
+	case CollectorStmt:
+		return ev.collector(s, f)
+	case NodeDecl:
+		return ev.nodeDecl(s, f)
+	case RealizeStmt:
+		for _, r := range s.Refs {
+			for _, te := range r.Titles {
+				v, err := ev.expr(te, f)
+				if err != nil {
+					return err
+				}
+				for _, title := range flattenStrings(v) {
+					ev.toRealize = append(ev.toRealize, realizeReq{
+						ref: RefV{Type: r.Type, Title: title},
+						pos: s.Pos,
+					})
+				}
+			}
+		}
+		return nil
+	case FailStmt:
+		msg, err := ev.expr(s.Message, f)
+		if err != nil {
+			return err
+		}
+		return errf(s.Pos, "fail: %s", ValueString(msg))
+	default:
+		return errf(s.Position(), "unhandled statement")
+	}
+}
+
+// nodeDecl evaluates a node block when it matches the configured node
+// name: an exact name match, or the "default" block when no exact match
+// exists anywhere in the manifest.
+func (ev *evaluator) nodeDecl(s NodeDecl, f *frame) error {
+	matches := false
+	for _, n := range s.Names {
+		if n == ev.nodeName {
+			matches = true
+		}
+		if n == "default" && !ev.hasExactNode {
+			matches = true
+		}
+	}
+	if !matches {
+		return nil
+	}
+	// Node blocks get their own scope under top, like classes.
+	nf := &frame{
+		parent:   ev.top,
+		vars:     make(map[string]Value),
+		defaults: make(map[string]map[string]Value),
+	}
+	return ev.stmts(s.Body, nf)
+}
+
+func (ev *evaluator) chain(s ChainStmt, f *frame) error {
+	expandRef := func(r RefExpr) ([]RefV, error) {
+		var out []RefV
+		for _, t := range r.Titles {
+			v, err := ev.expr(t, f)
+			if err != nil {
+				return nil, err
+			}
+			for _, title := range flattenStrings(v) {
+				out = append(out, RefV{Type: r.Type, Title: title})
+			}
+		}
+		return out, nil
+	}
+	// An element is either a reference or an inline declaration, which is
+	// evaluated here and contributes references to everything it declared.
+	elemRefs := func(e ChainElem) ([]RefV, error) {
+		if e.Ref != nil {
+			return expandRef(*e.Ref)
+		}
+		decl := *e.Decl
+		if err := ev.resourceDecl(decl, f); err != nil {
+			return nil, err
+		}
+		var out []RefV
+		for _, body := range decl.Bodies {
+			titleVal, err := ev.expr(body.Title, f)
+			if err != nil {
+				return nil, err
+			}
+			for _, title := range flattenStrings(titleVal) {
+				typ := decl.Type
+				if typ == "class" {
+					title = strings.ToLower(title)
+				}
+				out = append(out, RefV{Type: typ, Title: title})
+			}
+		}
+		return out, nil
+	}
+	prev, err := elemRefs(s.Elems[0])
+	if err != nil {
+		return err
+	}
+	for i, op := range s.Ops {
+		next, err := elemRefs(s.Elems[i+1])
+		if err != nil {
+			return err
+		}
+		kind := DepBefore
+		if op == ChainNotify {
+			kind = DepNotify
+		}
+		for _, from := range prev {
+			for _, to := range next {
+				ev.cat.Deps = append(ev.cat.Deps, Dep{From: from, To: to, Kind: kind, Pos: s.Pos})
+			}
+		}
+		prev = next
+	}
+	return nil
+}
+
+func (ev *evaluator) collector(s CollectorStmt, f *frame) error {
+	pc := pendingCollector{typ: s.Type, pos: s.Pos}
+	if s.Query != nil {
+		v, err := ev.expr(s.Query.Value, f)
+		if err != nil {
+			return err
+		}
+		pc.query = &evaluatedQuery{attr: s.Query.Attr, neq: s.Query.Neq, value: v}
+	}
+	if len(s.Overrides) > 0 {
+		attrs, err := ev.attrValues(s.Overrides, f)
+		if err != nil {
+			return err
+		}
+		for name := range attrs {
+			if isMetaparam(name) {
+				return errf(s.Pos, "collector overrides of metaparameter %q are not supported", name)
+			}
+		}
+		pc.overrides = attrs
+	}
+	ev.collectors = append(ev.collectors, pc)
+	return nil
+}
+
+// applyCollectors runs queued collectors against the full catalog: they
+// are global, non-modular transformations (section 3.1), so they apply
+// after everything is declared.
+func (ev *evaluator) applyCollectors() error {
+	for _, pc := range ev.collectors {
+		for _, r := range ev.cat.Resources {
+			if r.Type != pc.typ {
+				continue
+			}
+			if pc.query != nil {
+				attr, ok := r.Attrs[pc.query.attr]
+				if !ok {
+					attr = UndefV{}
+				}
+				match := ValueEq(attr, pc.query.value)
+				if pc.query.neq {
+					match = !match
+				}
+				if !match {
+					continue
+				}
+			}
+			r.Virtual = false // realize
+			for k, v := range pc.overrides {
+				r.Attrs[k] = v
+			}
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) attrValues(attrs []Attr, f *frame) (map[string]Value, error) {
+	out := make(map[string]Value, len(attrs))
+	for _, a := range attrs {
+		if _, dup := out[a.Name]; dup {
+			return nil, errf(a.Pos, "duplicate attribute %q", a.Name)
+		}
+		v, err := ev.expr(a.Value, f)
+		if err != nil {
+			return nil, err
+		}
+		out[a.Name] = v
+	}
+	return out, nil
+}
+
+func (ev *evaluator) resourceDecl(s ResourceDecl, f *frame) error {
+	for _, body := range s.Bodies {
+		titleVal, err := ev.expr(body.Title, f)
+		if err != nil {
+			return err
+		}
+		attrs, err := ev.attrValues(body.Attrs, f)
+		if err != nil {
+			return err
+		}
+		for _, title := range flattenStrings(titleVal) {
+			if err := ev.declareOne(s, title, cloneAttrs(attrs), f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func cloneAttrs(m map[string]Value) map[string]Value {
+	out := make(map[string]Value, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// flattenStrings converts a title value into one or more title strings.
+func flattenStrings(v Value) []string {
+	if arr, ok := v.(ArrV); ok {
+		var out []string
+		for _, e := range arr {
+			out = append(out, flattenStrings(e)...)
+		}
+		return out
+	}
+	return []string{ValueString(v)}
+}
+
+func isMetaparam(name string) bool {
+	switch name {
+	case "before", "require", "notify", "subscribe", "stage":
+		return true
+	}
+	return false
+}
+
+func (ev *evaluator) declareOne(s ResourceDecl, title string, attrs map[string]Value, f *frame) error {
+	switch {
+	case s.Type == "class":
+		if s.Virtual {
+			return errf(s.Pos, "virtual classes are not supported")
+		}
+		return ev.includeClassWithParams(strings.ToLower(title), attrs, s.Pos)
+	case ev.defines[s.Type].Name != "":
+		if s.Virtual {
+			return errf(s.Pos, "virtual defined-type instances are not supported")
+		}
+		return ev.instantiateDefine(ev.defines[s.Type], title, attrs, f, s.Pos)
+	default:
+		return ev.declarePrimitive(s, title, attrs, f)
+	}
+}
+
+func (ev *evaluator) declarePrimitive(s ResourceDecl, title string, attrs map[string]Value, f *frame) error {
+	r := &Resource{
+		Type:      s.Type,
+		Title:     title,
+		Attrs:     attrs,
+		Virtual:   s.Virtual,
+		Stage:     currentStage(f),
+		Container: append([]string(nil), f.container...),
+		Pos:       s.Pos,
+	}
+	// Apply resource defaults from innermost scope outwards.
+	for scope := f; scope != nil; scope = scope.parent {
+		for k, v := range scope.defaults[r.Type] {
+			if _, set := r.Attrs[k]; !set {
+				r.Attrs[k] = v
+			}
+		}
+	}
+	self := RefV{Type: r.Type, Title: r.Title}
+	if err := ev.extractDeps(r.Attrs, self, s.Pos); err != nil {
+		return err
+	}
+	if v, ok := r.Attrs["stage"]; ok {
+		r.Stage = strings.ToLower(ValueString(v))
+		delete(r.Attrs, "stage")
+	}
+	return ev.cat.add(r)
+}
+
+// extractDeps removes dependency metaparameters from attrs, recording the
+// corresponding edges relative to self.
+func (ev *evaluator) extractDeps(attrs map[string]Value, self RefV, pos Pos) error {
+	record := func(name string, mk func(target RefV) Dep) error {
+		v, ok := attrs[name]
+		if !ok {
+			return nil
+		}
+		delete(attrs, name)
+		targets, err := refList(v)
+		if err != nil {
+			return errf(pos, "metaparameter %s: %v", name, err)
+		}
+		for _, t := range targets {
+			ev.cat.Deps = append(ev.cat.Deps, mk(t))
+		}
+		return nil
+	}
+	if err := record("before", func(t RefV) Dep {
+		return Dep{From: self, To: t, Kind: DepBefore, Pos: pos}
+	}); err != nil {
+		return err
+	}
+	if err := record("require", func(t RefV) Dep {
+		return Dep{From: t, To: self, Kind: DepBefore, Pos: pos}
+	}); err != nil {
+		return err
+	}
+	if err := record("notify", func(t RefV) Dep {
+		return Dep{From: self, To: t, Kind: DepNotify, Pos: pos}
+	}); err != nil {
+		return err
+	}
+	return record("subscribe", func(t RefV) Dep {
+		return Dep{From: t, To: self, Kind: DepNotify, Pos: pos}
+	})
+}
+
+// refList coerces a metaparameter value into resource references.
+func refList(v Value) ([]RefV, error) {
+	switch v := v.(type) {
+	case RefV:
+		return []RefV{v}, nil
+	case ArrV:
+		var out []RefV
+		for _, e := range v {
+			refs, err := refList(e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, refs...)
+		}
+		return out, nil
+	case UndefV:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("expected resource reference, got %s", ValueString(v))
+	}
+}
+
+func currentStage(f *frame) string {
+	for s := f; s != nil; s = s.parent {
+		if s.stage != "" {
+			return s.stage
+		}
+	}
+	return "main"
+}
+
+func (ev *evaluator) includeClass(name string, _ map[string]Value, pos Pos) error {
+	return ev.includeClassWithParams(name, nil, pos)
+}
+
+func (ev *evaluator) includeClassWithParams(name string, params map[string]Value, pos Pos) error {
+	decl, ok := ev.classes[name]
+	if !ok {
+		return errf(pos, "unknown class %q", name)
+	}
+	if ev.included[name] {
+		if params != nil {
+			return errf(pos, "class %q is already declared", name)
+		}
+		return nil // include is idempotent
+	}
+	ev.included[name] = true
+	if ev.depth++; ev.depth > maxDepth {
+		return errf(pos, "class/define nesting exceeds %d levels", maxDepth)
+	}
+	defer func() { ev.depth-- }()
+
+	cf := &frame{
+		parent:    ev.top,
+		vars:      make(map[string]Value),
+		defaults:  make(map[string]map[string]Value),
+		container: []string{resourceKey("class", name)},
+	}
+	// Seed membership so references to empty classes still resolve.
+	if ev.cat.members[resourceKey("class", name)] == nil {
+		ev.cat.members[resourceKey("class", name)] = []string{}
+	}
+	if params == nil {
+		params = map[string]Value{}
+	}
+	self := RefV{Type: "class", Title: name}
+	if err := ev.extractDeps(params, self, pos); err != nil {
+		return err
+	}
+	if v, ok := params["stage"]; ok {
+		cf.stage = strings.ToLower(ValueString(v))
+		delete(params, "stage")
+	}
+	if err := bindParams(decl.Params, params, cf, ev, pos, "class "+name); err != nil {
+		return err
+	}
+	cf.vars["title"] = StrV(name)
+	cf.vars["name"] = StrV(name)
+	return ev.stmts(decl.Body, cf)
+}
+
+func (ev *evaluator) instantiateDefine(decl DefineDecl, title string, attrs map[string]Value, caller *frame, pos Pos) error {
+	if ev.depth++; ev.depth > maxDepth {
+		return errf(pos, "class/define nesting exceeds %d levels", maxDepth)
+	}
+	defer func() { ev.depth-- }()
+
+	key := resourceKey(decl.Name, title)
+	if prev, dup := ev.cat.members[key]; dup && prev != nil {
+		return errf(pos, "duplicate declaration of %s[%s]", titleCase(decl.Name), title)
+	}
+	df := &frame{
+		parent:    ev.top,
+		vars:      make(map[string]Value),
+		defaults:  make(map[string]map[string]Value),
+		container: append(append([]string(nil), caller.container...), key),
+		stage:     currentStage(caller),
+	}
+	// Seed membership so empty instances are still valid ref targets.
+	ev.cat.members[key] = []string{}
+
+	self := RefV{Type: decl.Name, Title: title}
+	if err := ev.extractDeps(attrs, self, pos); err != nil {
+		return err
+	}
+	if v, ok := attrs["stage"]; ok {
+		df.stage = strings.ToLower(ValueString(v))
+		delete(attrs, "stage")
+	}
+	if err := bindParams(decl.Params, attrs, df, ev, pos, titleCase(decl.Name)+"["+title+"]"); err != nil {
+		return err
+	}
+	df.vars["title"] = StrV(title)
+	df.vars["name"] = StrV(title)
+	return ev.stmts(decl.Body, df)
+}
+
+// bindParams binds declared parameters from supplied attributes, applying
+// defaults and rejecting unknown or missing parameters.
+func bindParams(params []Param, supplied map[string]Value, f *frame, ev *evaluator, pos Pos, what string) error {
+	declared := make(map[string]bool, len(params))
+	for _, p := range params {
+		declared[p.Name] = true
+		if v, ok := supplied[p.Name]; ok {
+			f.vars[p.Name] = v
+			continue
+		}
+		if p.Default == nil {
+			return errf(pos, "%s: missing required parameter $%s", what, p.Name)
+		}
+		v, err := ev.expr(p.Default, f)
+		if err != nil {
+			return err
+		}
+		f.vars[p.Name] = v
+	}
+	for name := range supplied {
+		if !declared[name] && name != "title" && name != "name" {
+			return errf(pos, "%s: unknown parameter %q", what, name)
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) expr(e Expr, f *frame) (Value, error) {
+	switch e := e.(type) {
+	case StrExpr:
+		var b strings.Builder
+		for _, part := range e.Parts {
+			if part.Var == "" {
+				b.WriteString(part.Lit)
+				continue
+			}
+			v, err := ev.interpolate(part.Var, f, e.Pos)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(ValueString(v))
+		}
+		return StrV(b.String()), nil
+	case NumExpr:
+		n, ok := toNum(StrV(e.Text))
+		if !ok {
+			return nil, errf(e.Pos, "invalid number %q", e.Text)
+		}
+		return NumV(n), nil
+	case BoolExpr:
+		return BoolV(e.V), nil
+	case UndefExpr:
+		return UndefV{}, nil
+	case VarExpr:
+		return ev.lookupVar(e.Name, f, e.Pos)
+	case ArrayExpr:
+		out := make(ArrV, 0, len(e.Elems))
+		for _, el := range e.Elems {
+			v, err := ev.expr(el, f)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case HashExpr:
+		out := make(HashV, 0, len(e.Pairs))
+		for _, pair := range e.Pairs {
+			k, err := ev.expr(pair.Key, f)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ev.expr(pair.Value, f)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, HashEntry{Key: k, Value: v})
+		}
+		return out, nil
+	case RefExpr:
+		var refs []Value
+		for _, t := range e.Titles {
+			v, err := ev.expr(t, f)
+			if err != nil {
+				return nil, err
+			}
+			for _, title := range flattenStrings(v) {
+				refs = append(refs, RefV{Type: e.Type, Title: title})
+			}
+		}
+		if len(refs) == 1 {
+			return refs[0], nil
+		}
+		return ArrV(refs), nil
+	case IndexExpr:
+		x, err := ev.expr(e.X, f)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := ev.expr(e.Index, f)
+		if err != nil {
+			return nil, err
+		}
+		switch x := x.(type) {
+		case ArrV:
+			n, ok := toNum(idx)
+			if !ok {
+				return nil, errf(e.Pos, "array index must be numeric, got %s", ValueString(idx))
+			}
+			i := int(n)
+			if i < 0 || i >= len(x) {
+				return UndefV{}, nil // out of range is undef, like Puppet
+			}
+			return x[i], nil
+		case HashV:
+			for _, entry := range x {
+				if ValueEq(entry.Key, idx) {
+					return entry.Value, nil
+				}
+			}
+			return UndefV{}, nil // missing key is undef
+		default:
+			return nil, errf(e.Pos, "cannot index a %s value", ValueString(x))
+		}
+	case BinExpr:
+		return ev.binExpr(e, f)
+	case NotExpr:
+		v, err := ev.expr(e.X, f)
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(!Truthy(v)), nil
+	case SelectorExpr:
+		cond, err := ev.expr(e.Cond, f)
+		if err != nil {
+			return nil, err
+		}
+		var defaultValue Expr
+		for _, c := range e.Cases {
+			if c.Match == nil {
+				defaultValue = c.Value
+				continue
+			}
+			mv, err := ev.expr(c.Match, f)
+			if err != nil {
+				return nil, err
+			}
+			if ValueEq(cond, mv) {
+				return ev.expr(c.Value, f)
+			}
+		}
+		if defaultValue == nil {
+			return nil, errf(e.Pos, "selector has no matching case and no default")
+		}
+		return ev.expr(defaultValue, f)
+	case DefinedExpr:
+		if len(e.Ref.Titles) != 1 {
+			return nil, errf(e.Pos, "defined() takes a single reference")
+		}
+		tv, err := ev.expr(e.Ref.Titles[0], f)
+		if err != nil {
+			return nil, err
+		}
+		title := ValueString(tv)
+		switch e.Ref.Type {
+		case "class":
+			return BoolV(ev.included[strings.ToLower(title)]), nil
+		default:
+			if ev.cat.Lookup(e.Ref.Type, title) != nil {
+				return BoolV(true), nil
+			}
+			_, isInstance := ev.cat.members[resourceKey(e.Ref.Type, title)]
+			return BoolV(isInstance), nil
+		}
+	default:
+		return nil, errf(e.Position(), "unhandled expression")
+	}
+}
+
+// interpolate evaluates a ${...} interpolation: a plain variable name in
+// the common case, or a full expression such as names[0] or h['k'].
+func (ev *evaluator) interpolate(text string, f *frame, pos Pos) (Value, error) {
+	if v, err := ev.lookupVar(text, f, pos); err == nil {
+		return v, nil
+	} else if isPlainName(text) {
+		return nil, err // keep the undefined-variable error for plain names
+	}
+	expr, err := ParseExpression("$" + text)
+	if err != nil {
+		return nil, errf(pos, "invalid interpolation ${%s}: %v", text, err)
+	}
+	return ev.expr(expr, f)
+}
+
+// isPlainName reports whether an interpolation is a bare (possibly
+// namespaced) variable name.
+func isPlainName(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (ev *evaluator) lookupVar(name string, f *frame, pos Pos) (Value, error) {
+	if v, ok := f.lookup(name); ok {
+		return v, nil
+	}
+	bare := strings.TrimPrefix(name, "::")
+	if v, ok := ev.facts[bare]; ok {
+		return v, nil
+	}
+	return nil, errf(pos, "undefined variable $%s", name)
+}
+
+func (ev *evaluator) binExpr(e BinExpr, f *frame) (Value, error) {
+	l, err := ev.expr(e.L, f)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit and/or.
+	switch e.Op {
+	case OpAnd:
+		if !Truthy(l) {
+			return BoolV(false), nil
+		}
+		r, err := ev.expr(e.R, f)
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(Truthy(r)), nil
+	case OpOr:
+		if Truthy(l) {
+			return BoolV(true), nil
+		}
+		r, err := ev.expr(e.R, f)
+		if err != nil {
+			return nil, err
+		}
+		return BoolV(Truthy(r)), nil
+	}
+	r, err := ev.expr(e.R, f)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case OpEq:
+		return BoolV(ValueEq(l, r)), nil
+	case OpNeq:
+		return BoolV(!ValueEq(l, r)), nil
+	case OpLt, OpGt, OpLe, OpGe:
+		nl, nr, ok := compareNum(l, r)
+		if !ok {
+			return nil, errf(e.Pos, "comparison requires numeric operands")
+		}
+		switch e.Op {
+		case OpLt:
+			return BoolV(nl < nr), nil
+		case OpGt:
+			return BoolV(nl > nr), nil
+		case OpLe:
+			return BoolV(nl <= nr), nil
+		default:
+			return BoolV(nl >= nr), nil
+		}
+	case OpIn:
+		arr, ok := r.(ArrV)
+		if !ok {
+			return nil, errf(e.Pos, "'in' requires an array right operand")
+		}
+		for _, el := range arr {
+			if ValueEq(l, el) {
+				return BoolV(true), nil
+			}
+		}
+		return BoolV(false), nil
+	}
+	return nil, errf(e.Pos, "unhandled binary operator")
+}

@@ -1,0 +1,497 @@
+package puppet
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustEval(t *testing.T, src string) *Catalog {
+	t.Helper()
+	cat, err := EvaluateSource(src, Config{Facts: map[string]Value{
+		"operatingsystem": StrV("Ubuntu"),
+		"osfamily":        StrV("Debian"),
+	}})
+	if err != nil {
+		t.Fatalf("evaluate: %v\nsource:\n%s", err, src)
+	}
+	return cat
+}
+
+func mustFail(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := EvaluateSource(src, Config{})
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none\nsource:\n%s", wantSubstr, src)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err, wantSubstr)
+	}
+}
+
+func TestSimpleResources(t *testing.T) {
+	cat := mustEval(t, `
+		package{'vim': ensure => present }
+		file{'/home/carol/.vimrc': content => 'syntax on' }
+		user{'carol': ensure => present, managehome => true }
+	`)
+	if len(cat.Resources) != 3 {
+		t.Fatalf("resources: %s", cat.Summary())
+	}
+	vim := cat.Lookup("package", "vim")
+	if vim == nil {
+		t.Fatal("package[vim] missing")
+	}
+	if got, _ := vim.AttrString("ensure"); got != "present" {
+		t.Errorf("ensure = %q", got)
+	}
+	carol := cat.Lookup("user", "carol")
+	if v, ok := carol.Attrs["managehome"].(BoolV); !ok || !bool(v) {
+		t.Errorf("managehome = %v", carol.Attrs["managehome"])
+	}
+}
+
+func TestDuplicateResourceRejected(t *testing.T) {
+	mustFail(t, `
+		package{'vim': }
+		package{'vim': }
+	`, "duplicate declaration")
+}
+
+// Figure 2 of the paper: user-defined type with interpolation and an
+// internal dependency.
+func TestFigure2DefinedType(t *testing.T) {
+	cat := mustEval(t, `
+		define myuser() {
+			user {"$title":
+				ensure     => present,
+				managehome => true
+			}
+			file {"/home/${title}/.vimrc":
+				content => "syntax on"
+			}
+			User["$title"] -> File["/home/${title}/.vimrc"]
+		}
+		myuser {"alice": }
+		myuser {"carol": }
+	`)
+	for _, u := range []string{"alice", "carol"} {
+		if cat.Lookup("user", u) == nil {
+			t.Errorf("user[%s] missing", u)
+		}
+		if cat.Lookup("file", "/home/"+u+"/.vimrc") == nil {
+			t.Errorf("vimrc for %s missing", u)
+		}
+	}
+	if len(cat.Deps) != 2 {
+		t.Fatalf("deps: %+v", cat.Deps)
+	}
+	d := cat.Deps[0]
+	if d.From.Type != "user" || d.To.Type != "file" {
+		t.Errorf("dep direction wrong: %+v", d)
+	}
+}
+
+func TestDefineDuplicateInstance(t *testing.T) {
+	mustFail(t, `
+		define d() { file{"/f-$title": } }
+		d{'x': }
+		d{'x': }
+	`, "duplicate declaration")
+}
+
+func TestDefineParams(t *testing.T) {
+	cat := mustEval(t, `
+		define website($docroot, $port = 80) {
+			file{"/etc/sites/$title": content => "root=$docroot port=$port" }
+		}
+		website{'blog': docroot => '/srv/blog' }
+		website{'shop': docroot => '/srv/shop', port => 8080 }
+	`)
+	blog := cat.Lookup("file", "/etc/sites/blog")
+	if got, _ := blog.AttrString("content"); got != "root=/srv/blog port=80" {
+		t.Errorf("blog content: %q", got)
+	}
+	shop := cat.Lookup("file", "/etc/sites/shop")
+	if got, _ := shop.AttrString("content"); got != "root=/srv/shop port=8080" {
+		t.Errorf("shop content: %q", got)
+	}
+	mustFail(t, `
+		define d($required) { file{"/f": } }
+		d{'x': }
+	`, "missing required parameter")
+	mustFail(t, `
+		define d() { file{"/f": } }
+		d{'x': bogus => 1 }
+	`, "unknown parameter")
+}
+
+func TestClasses(t *testing.T) {
+	cat := mustEval(t, `
+		class webserver {
+			package{'apache2': ensure => present }
+			file{'/etc/apache2/apache2.conf': content => 'x' }
+		}
+		include webserver
+		include webserver
+	`)
+	if len(cat.Realized()) != 2 {
+		t.Fatalf("include not idempotent: %s", cat.Summary())
+	}
+	// Class resource syntax with parameters.
+	cat = mustEval(t, `
+		class app($version = '1.0') {
+			file{'/etc/app.conf': content => "v=$version" }
+		}
+		class {'app': version => '2.0' }
+	`)
+	f := cat.Lookup("file", "/etc/app.conf")
+	if got, _ := f.AttrString("content"); got != "v=2.0" {
+		t.Errorf("content: %q", got)
+	}
+	mustFail(t, `
+		class c { file{'/f': } }
+		include c
+		class {'c': }
+	`, "already declared")
+	mustFail(t, `include nonexistent`, "unknown class")
+}
+
+func TestVariablesAndInterpolation(t *testing.T) {
+	cat := mustEval(t, `
+		$base = '/srv'
+		$app  = 'shop'
+		file{"${base}/${app}/config": content => "for $app" }
+	`)
+	if cat.Lookup("file", "/srv/shop/config") == nil {
+		t.Fatalf("interpolated title missing: %s", cat.Summary())
+	}
+	mustFail(t, `
+		$x = 1
+		$x = 2
+	`, "cannot reassign")
+	mustFail(t, `file{"$nope": }`, "undefined variable")
+}
+
+func TestFacts(t *testing.T) {
+	cat := mustEval(t, `
+		file{'/etc/issue': content => "os=${operatingsystem} fam=${::osfamily}" }
+	`)
+	f := cat.Lookup("file", "/etc/issue")
+	if got, _ := f.AttrString("content"); got != "os=Ubuntu fam=Debian" {
+		t.Errorf("content: %q", got)
+	}
+}
+
+func TestConditionals(t *testing.T) {
+	cat := mustEval(t, `
+		if $operatingsystem == 'Ubuntu' {
+			package{'apache2': }
+		} else {
+			package{'httpd': }
+		}
+		if $operatingsystem == 'CentOS' {
+			package{'never': }
+		} elsif $operatingsystem == 'Ubuntu' {
+			package{'elsif-hit': }
+		} else {
+			package{'else-hit': }
+		}
+		if !($operatingsystem != 'Ubuntu') {
+			package{'negation': }
+		}
+	`)
+	for _, want := range []string{"apache2", "elsif-hit", "negation"} {
+		if cat.Lookup("package", want) == nil {
+			t.Errorf("package[%s] missing: %s", want, cat.Summary())
+		}
+	}
+	for _, absent := range []string{"httpd", "never", "else-hit"} {
+		if cat.Lookup("package", absent) != nil {
+			t.Errorf("package[%s] should not exist", absent)
+		}
+	}
+}
+
+func TestCaseAndSelector(t *testing.T) {
+	cat := mustEval(t, `
+		case $operatingsystem {
+			'centos', 'redhat': { $pkg = 'httpd' }
+			'ubuntu', 'debian': { $pkg = 'apache2' }
+			default:            { $pkg = 'unknown' }
+		}
+		package{"$pkg": }
+		$svc = $operatingsystem ? {
+			'CentOS' => 'httpd',
+			'Ubuntu' => 'apache2-svc',
+			default  => 'none',
+		}
+		service{"$svc": ensure => running }
+	`)
+	if cat.Lookup("package", "apache2") == nil {
+		t.Errorf("case arm not taken: %s", cat.Summary())
+	}
+	if cat.Lookup("service", "apache2-svc") == nil {
+		t.Errorf("selector arm not taken: %s", cat.Summary())
+	}
+	mustFail(t, `$x = 'a' ? { 'b' => 1 }`, "no matching case")
+}
+
+func TestChainingAndMetaparams(t *testing.T) {
+	cat := mustEval(t, `
+		package{'apache2': }
+		file{'/etc/apache2/sites-available/000-default.conf': content => 'x' }
+		service{'apache2': ensure => running }
+		Package['apache2'] -> File['/etc/apache2/sites-available/000-default.conf'] ~> Service['apache2']
+		package{'ntp': before => Service['ntp'] }
+		service{'ntp': }
+		file{'/etc/ntp.conf': require => Package['ntp'], notify => Service['ntp'] }
+		cron{'x': subscribe => [File['/etc/ntp.conf'], Package['ntp']] }
+	`)
+	type edge struct{ from, to string }
+	want := map[edge]bool{
+		{"package[apache2]", "file[/etc/apache2/sites-available/000-default.conf]"}: true,
+		{"file[/etc/apache2/sites-available/000-default.conf]", "service[apache2]"}: true,
+		{"package[ntp]", "service[ntp]"}:                                            true,
+		{"package[ntp]", "file[/etc/ntp.conf]"}:                                     true,
+		{"file[/etc/ntp.conf]", "service[ntp]"}:                                     true,
+		{"file[/etc/ntp.conf]", "cron[x]"}:                                          true,
+		{"package[ntp]", "cron[x]"}:                                                 true,
+	}
+	got := map[edge]bool{}
+	for _, d := range cat.Deps {
+		got[edge{resourceKey(d.From.Type, d.From.Title), resourceKey(d.To.Type, d.To.Title)}] = true
+	}
+	for e := range want {
+		if !got[e] {
+			t.Errorf("missing edge %v; have %v", e, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("extra edges: got %v", got)
+	}
+}
+
+func TestResourceDefaults(t *testing.T) {
+	cat := mustEval(t, `
+		File { mode => '0644', owner => 'root' }
+		file{'/a': owner => 'web' }
+		class c {
+			File { mode => '0600' }
+			file{'/b': }
+		}
+		include c
+	`)
+	a := cat.Lookup("file", "/a")
+	if got, _ := a.AttrString("mode"); got != "0644" {
+		t.Errorf("/a mode: %q", got)
+	}
+	if got, _ := a.AttrString("owner"); got != "web" {
+		t.Errorf("/a owner not overridden: %q", got)
+	}
+	b := cat.Lookup("file", "/b")
+	if got, _ := b.AttrString("mode"); got != "0600" {
+		t.Errorf("/b mode: %q", got)
+	}
+	if got, _ := b.AttrString("owner"); got != "root" {
+		t.Errorf("/b owner (outer default): %q", got)
+	}
+}
+
+func TestVirtualAndCollectors(t *testing.T) {
+	cat := mustEval(t, `
+		@user{'alice': ensure => present, groups => 'admin' }
+		@user{'bob': ensure => present, groups => 'dev' }
+		user{'carol': ensure => present, groups => 'admin' }
+		User<| groups == 'admin' |>
+	`)
+	alice := cat.Lookup("user", "alice")
+	if alice.Virtual {
+		t.Error("alice not realized")
+	}
+	bob := cat.Lookup("user", "bob")
+	if !bob.Virtual {
+		t.Error("bob should remain virtual")
+	}
+	if len(cat.Realized()) != 2 {
+		t.Errorf("realized: %d", len(cat.Realized()))
+	}
+	// The paper's collector example: override an attribute everywhere.
+	cat = mustEval(t, `
+		file{'/a': owner => 'carol', mode => 'x' }
+		file{'/b': owner => 'dave' }
+		File<| owner == 'carol' |> { mode => 'go-rwx' }
+	`)
+	if got, _ := cat.Lookup("file", "/a").AttrString("mode"); got != "go-rwx" {
+		t.Errorf("/a mode: %q", got)
+	}
+	if got, ok := cat.Lookup("file", "/b").AttrString("mode"); ok {
+		t.Errorf("/b mode should be unset, got %q", got)
+	}
+	// Empty query realizes everything of the type.
+	cat = mustEval(t, `
+		@package{'p1': }
+		@package{'p2': }
+		Package<| |>
+	`)
+	if len(cat.Realized()) != 2 {
+		t.Errorf("empty collector: %s", cat.Summary())
+	}
+	// != query.
+	cat = mustEval(t, `
+		@package{'p1': ensure => present }
+		@package{'p2': ensure => absent }
+		Package<| ensure != present |>
+	`)
+	if !cat.Lookup("package", "p1").Virtual || cat.Lookup("package", "p2").Virtual {
+		t.Errorf("!= collector: %s", cat.Summary())
+	}
+}
+
+func TestStages(t *testing.T) {
+	cat := mustEval(t, `
+		stage{'pre': before => Stage['main'] }
+		class prep {
+			package{'curl': }
+		}
+		class {'prep': stage => 'pre' }
+		package{'apache2': }
+	`)
+	curl := cat.Lookup("package", "curl")
+	if curl.Stage != "pre" {
+		t.Errorf("curl stage: %q", curl.Stage)
+	}
+	apache := cat.Lookup("package", "apache2")
+	if apache.Stage != "main" {
+		t.Errorf("apache stage: %q", apache.Stage)
+	}
+	if len(cat.Stages()) != 1 {
+		t.Errorf("stage resources: %d", len(cat.Stages()))
+	}
+	// Stage resources are excluded from Realized.
+	for _, r := range cat.Realized() {
+		if r.Type == "stage" {
+			t.Error("stage resource in Realized()")
+		}
+	}
+}
+
+func TestDefined(t *testing.T) {
+	cat := mustEval(t, `
+		package{'make': }
+		if !defined(Package['make']) {
+			package{'make-dup': }
+		}
+		if defined(Package['make']) {
+			package{'saw-make': }
+		}
+		class c { }
+		include c
+		if defined(Class['c']) {
+			package{'saw-class': }
+		}
+	`)
+	if cat.Lookup("package", "make-dup") != nil {
+		t.Error("defined() guard failed")
+	}
+	if cat.Lookup("package", "saw-make") == nil || cat.Lookup("package", "saw-class") == nil {
+		t.Errorf("defined() positive cases: %s", cat.Summary())
+	}
+}
+
+func TestClassAndDefineRefs(t *testing.T) {
+	cat := mustEval(t, `
+		class db {
+			package{'mysql-server': }
+		}
+		include db
+		package{'app': require => Class['db'] }
+		define vhost() {
+			file{"/etc/sites/$title": }
+		}
+		vhost{'blog': }
+		Vhost['blog'] -> Package['app2']
+		package{'app2': }
+	`)
+	// Expansion of a class ref.
+	rs, err := cat.Expand(RefV{Type: "class", Title: "db"})
+	if err != nil || len(rs) != 1 || rs[0].Title != "mysql-server" {
+		t.Errorf("class expand: %v %v", rs, err)
+	}
+	// Expansion of a define-instance ref.
+	rs, err = cat.Expand(RefV{Type: "vhost", Title: "blog"})
+	if err != nil || len(rs) != 1 || rs[0].Type != "file" {
+		t.Errorf("define expand: %v %v", rs, err)
+	}
+	// Unknown ref fails.
+	if _, err := cat.Expand(RefV{Type: "package", Title: "ghost"}); err == nil {
+		t.Error("unknown ref resolved")
+	}
+}
+
+func TestTitleArrays(t *testing.T) {
+	cat := mustEval(t, `
+		package{['m4', 'make', 'gcc']: ensure => present }
+	`)
+	for _, p := range []string{"m4", "make", "gcc"} {
+		if cat.Lookup("package", p) == nil {
+			t.Errorf("package[%s] missing", p)
+		}
+	}
+}
+
+func TestMultiBodyDeclaration(t *testing.T) {
+	cat := mustEval(t, `
+		user{'carol': ensure => present;
+		     'dave':  ensure => absent }
+	`)
+	if cat.Lookup("user", "carol") == nil || cat.Lookup("user", "dave") == nil {
+		t.Fatalf("multi-body: %s", cat.Summary())
+	}
+	if got, _ := cat.Lookup("user", "dave").AttrString("ensure"); got != "absent" {
+		t.Errorf("dave ensure: %q", got)
+	}
+}
+
+func TestOperatorsInConditions(t *testing.T) {
+	cat := mustEval(t, `
+		$n = 3
+		if $n > 2 and $n <= 3 { package{'range-ok': } }
+		if $n < 2 or $n >= 3 { package{'or-ok': } }
+		if 'b' in ['a', 'b'] { package{'in-ok': } }
+		if 'APACHE2' == 'apache2' { package{'ci-ok': } }
+	`)
+	for _, p := range []string{"range-ok", "or-ok", "in-ok", "ci-ok"} {
+		if cat.Lookup("package", p) == nil {
+			t.Errorf("package[%s] missing: %s", p, cat.Summary())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`package{`,
+		`package{'x' ensure => present}`,
+		`-> File['x']`,
+		`File['x'] ->`,
+		`class c inherits d { }`,
+		`file{'x': attr +> 1}`,
+		`Package['x'] File['y']`,
+		`if { }`,
+		`$x 1`,
+		`@class{'x': }`,
+	} {
+		if _, err := EvaluateSource(src, Config{}); err == nil {
+			t.Errorf("source should fail: %q", src)
+		}
+	}
+}
+
+func TestHashValues(t *testing.T) {
+	cat := mustEval(t, `
+		$h = { 'a' => 1, 'b' => 2 }
+		file{'/f': content => "${h}" }
+	`)
+	if cat.Lookup("file", "/f") == nil {
+		t.Fatal("hash manifest failed")
+	}
+}

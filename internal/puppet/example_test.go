@@ -1,0 +1,54 @@
+package puppet_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/puppet"
+)
+
+// Evaluating a manifest yields its catalog of primitive resources and
+// dependency edges.
+func ExampleEvaluateSource() {
+	cat, err := puppet.EvaluateSource(`
+define website($port = 80) {
+  file {"/etc/sites/${title}": content => "port=${port}" }
+}
+website {'blog': }
+website {'shop': port => 8080 }
+`, puppet.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range cat.Realized() {
+		content, _ := r.AttrString("content")
+		fmt.Printf("%s %s\n", r, content)
+	}
+	// Output:
+	// File[/etc/sites/blog] port=80
+	// File[/etc/sites/shop] port=8080
+}
+
+// Platform facts drive conditional compilation (section 8: the analysis
+// is platform-dependent).
+func ExampleEvaluateSource_facts() {
+	manifest := `
+$pkg = $osfamily ? {
+  'Debian' => 'apache2',
+  'RedHat' => 'httpd',
+}
+package {"$pkg": ensure => present }
+`
+	for _, fam := range []string{"Debian", "RedHat"} {
+		cat, err := puppet.EvaluateSource(manifest, puppet.Config{
+			Facts: map[string]puppet.Value{"osfamily": puppet.StrV(fam)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(cat.Realized()[0])
+	}
+	// Output:
+	// Package[apache2]
+	// Package[httpd]
+}

@@ -1,0 +1,242 @@
+package puppet
+
+import (
+	"strings"
+	"testing"
+)
+
+// evalWithNode evaluates with an explicit node name.
+func evalWithNode(t *testing.T, src, node string) *Catalog {
+	t.Helper()
+	cat, err := EvaluateSource(src, Config{
+		Facts:    map[string]Value{"operatingsystem": StrV("Ubuntu")},
+		NodeName: node,
+	})
+	if err != nil {
+		t.Fatalf("evaluate: %v\nsource:\n%s", err, src)
+	}
+	return cat
+}
+
+func TestStatementChaining(t *testing.T) {
+	cat := mustEval(t, `
+package {'ntp': ensure => present } ->
+file {'/etc/ntp.conf': content => 'server pool' } ~>
+service {'ntp': ensure => running }
+`)
+	if len(cat.Realized()) != 3 {
+		t.Fatalf("resources: %s", cat.Summary())
+	}
+	if len(cat.Deps) != 2 {
+		t.Fatalf("deps: %+v", cat.Deps)
+	}
+	d0, d1 := cat.Deps[0], cat.Deps[1]
+	if d0.From.Type != "package" || d0.To.Type != "file" || d0.Kind != DepBefore {
+		t.Errorf("first edge: %+v", d0)
+	}
+	if d1.From.Type != "file" || d1.To.Type != "service" || d1.Kind != DepNotify {
+		t.Errorf("second edge: %+v", d1)
+	}
+}
+
+func TestMixedChaining(t *testing.T) {
+	// Reference on the left, declaration on the right.
+	cat := mustEval(t, `
+package {'ntp': }
+Package['ntp'] -> file {'/etc/ntp.conf': content => 'x' }
+`)
+	if len(cat.Deps) != 1 {
+		t.Fatalf("deps: %+v", cat.Deps)
+	}
+	if cat.Lookup("file", "/etc/ntp.conf") == nil {
+		t.Error("inline declaration not evaluated")
+	}
+	// Multi-title declarations fan out.
+	cat = mustEval(t, `
+package {['m4', 'make']: } -> package {'gcc': }
+`)
+	if len(cat.Deps) != 2 {
+		t.Fatalf("multi-title chain deps: %+v", cat.Deps)
+	}
+}
+
+func TestUnless(t *testing.T) {
+	cat := mustEval(t, `
+unless $operatingsystem == 'CentOS' {
+	package {'apt-tools': }
+} else {
+	package {'yum-tools': }
+}
+`)
+	if cat.Lookup("package", "apt-tools") == nil {
+		t.Errorf("unless body not taken: %s", cat.Summary())
+	}
+	if cat.Lookup("package", "yum-tools") != nil {
+		t.Error("else branch taken")
+	}
+}
+
+func TestNodeBlocks(t *testing.T) {
+	src := `
+package {'base': }
+node 'web01.example.com', 'web02.example.com' {
+	package {'nginx-node': }
+}
+node 'db01.example.com' {
+	package {'mysql-node': }
+}
+node default {
+	package {'generic': }
+}
+`
+	// Exact match.
+	cat := evalWithNode(t, src, "web01.example.com")
+	if cat.Lookup("package", "nginx-node") == nil || cat.Lookup("package", "base") == nil {
+		t.Errorf("web01: %s", cat.Summary())
+	}
+	if cat.Lookup("package", "mysql-node") != nil || cat.Lookup("package", "generic") != nil {
+		t.Errorf("web01 leaked other nodes: %s", cat.Summary())
+	}
+	// Default fallback.
+	cat = evalWithNode(t, src, "unknown-host")
+	if cat.Lookup("package", "generic") == nil {
+		t.Errorf("default node not taken: %s", cat.Summary())
+	}
+	if cat.Lookup("package", "nginx-node") != nil {
+		t.Error("exact node leaked into default")
+	}
+}
+
+func TestNodeScopeIsLocal(t *testing.T) {
+	// Variables assigned in a node block do not leak to other blocks.
+	src := `
+node 'a' {
+	$x = '1'
+	file {"/f$x": content => 'x' }
+}
+`
+	cat := evalWithNode(t, src, "a")
+	if cat.Lookup("file", "/f1") == nil {
+		t.Errorf("node body: %s", cat.Summary())
+	}
+}
+
+func TestRealize(t *testing.T) {
+	cat := mustEval(t, `
+@user {'alice': ensure => present }
+@user {'bob': ensure => present }
+realize User['alice']
+`)
+	if cat.Lookup("user", "alice").Virtual {
+		t.Error("alice not realized")
+	}
+	if !cat.Lookup("user", "bob").Virtual {
+		t.Error("bob should stay virtual")
+	}
+	// Realize before declaration works (deferred).
+	cat = mustEval(t, `
+realize(User['carol'])
+@user {'carol': }
+`)
+	if cat.Lookup("user", "carol").Virtual {
+		t.Error("deferred realize failed")
+	}
+	// Realizing an undeclared resource fails.
+	mustFail(t, `realize User['ghost']`, "not declared")
+}
+
+func TestFail(t *testing.T) {
+	_, err := EvaluateSource(`
+case $operatingsystem {
+	'Solaris': { package {'x': } }
+	default:   { fail("unsupported OS ${operatingsystem}") }
+}
+`, Config{Facts: map[string]Value{"operatingsystem": StrV("Ubuntu")}})
+	if err == nil || !strings.Contains(err.Error(), "unsupported OS Ubuntu") {
+		t.Errorf("fail(): %v", err)
+	}
+	// fail in a dead branch is harmless.
+	cat := mustEval(t, `
+if $operatingsystem == 'Ubuntu' {
+	package {'fine': }
+} else {
+	fail('never reached')
+}
+`)
+	if cat.Lookup("package", "fine") == nil {
+		t.Error("live branch not evaluated")
+	}
+}
+
+func TestChainingParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`Package['x'] ->`,
+		`-> package {'x': }`,
+		`Package['x'] -> include y`,
+		`node { }`,
+		`realize`,
+		`fail 'x'`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	cat := mustEval(t, `
+@user {'v': }
+package {'p': ensure => present }
+`)
+	s := cat.Summary()
+	if !strings.Contains(s, "@User[v]") || !strings.Contains(s, "Package[p] ensure=present") {
+		t.Errorf("summary:\n%s", s)
+	}
+}
+
+func TestIndexing(t *testing.T) {
+	cat := mustEval(t, `
+$ports = { 'http' => 80, 'https' => 443 }
+$names = ['web', 'api']
+file {"/etc/app/${names[0]}.conf": content => "listen ${ports['http']}" }
+file {"/etc/app/${names[1]}.conf": content => "listen ${ports['https']}" }
+`)
+	web := cat.Lookup("file", "/etc/app/web.conf")
+	if web == nil {
+		t.Fatalf("indexing failed: %s", cat.Summary())
+	}
+	if got, _ := web.AttrString("content"); got != "listen 80" {
+		t.Errorf("web content: %q", got)
+	}
+	api := cat.Lookup("file", "/etc/app/api.conf")
+	if got, _ := api.AttrString("content"); got != "listen 443" {
+		t.Errorf("api content: %q", got)
+	}
+}
+
+func TestIndexingEdgeCases(t *testing.T) {
+	// Missing keys and out-of-range indices are undef, like Puppet.
+	cat := mustEval(t, `
+$h = { 'a' => 1 }
+$a = [1, 2]
+if $h['missing'] == undef { package {'hash-undef': } }
+if $a[9] == undef { package {'arr-undef': } }
+`)
+	for _, p := range []string{"hash-undef", "arr-undef"} {
+		if cat.Lookup("package", p) == nil {
+			t.Errorf("package[%s] missing: %s", p, cat.Summary())
+		}
+	}
+	// Indexing a scalar is an error.
+	mustFail(t, `
+$s = 'str'
+$x = $s[0]
+file {"/$x": }
+`, "cannot index")
+	// Non-numeric array index is an error.
+	mustFail(t, `
+$a = [1]
+$x = $a['k']
+file {"/$x": }
+`, "must be numeric")
+}

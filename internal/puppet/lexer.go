@@ -1,0 +1,344 @@
+package puppet
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer converts manifest source into tokens.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the entire source.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekAt(off int) rune {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) here() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '#':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peekAt(1) == '*':
+			start := lx.here()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isNameRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.here()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := lx.peek()
+	switch {
+	case r == '\'':
+		return lx.singleQuoted(pos)
+	case r == '"':
+		return lx.doubleQuoted(pos)
+	case r == '$':
+		lx.advance()
+		return lx.variable(pos)
+	case unicode.IsDigit(r):
+		return lx.number(pos)
+	case isNameStart(r):
+		return lx.name(pos)
+	}
+	lx.advance()
+	two := func(nextRune rune, with, without TokenKind) Token {
+		if lx.peek() == nextRune {
+			lx.advance()
+			return Token{Kind: with, Pos: pos}
+		}
+		return Token{Kind: without, Pos: pos}
+	}
+	switch r {
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case ':':
+		// Namespaced names (a::b) are handled in name(); a bare ':' here
+		// is the resource-title separator.
+		return Token{Kind: TokColon, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case '=':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: TokFatArrow, Pos: pos}, nil
+		}
+		return two('=', TokEq, TokAssign), nil
+	case '+':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: TokPlusArrow, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '+'")
+	case '-':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: TokArrow, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '-'")
+	case '~':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: TokTildeArrow, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '~'")
+	case '!':
+		return two('=', TokNeq, TokBang), nil
+	case '<':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: TokCollectorOpen, Pos: pos}, nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		return two('=', TokGe, TokGt), nil
+	case '|':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: TokCollectorEnd, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '|'")
+	case '?':
+		return Token{Kind: TokQuestion, Pos: pos}, nil
+	case '@':
+		return Token{Kind: TokAt, Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", r)
+}
+
+func (lx *lexer) singleQuoted(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated string")
+		}
+		r := lx.advance()
+		if r == '\'' {
+			break
+		}
+		if r == '\\' && (lx.peek() == '\'' || lx.peek() == '\\') {
+			r = lx.advance()
+		}
+		b.WriteRune(r)
+	}
+	text := b.String()
+	return Token{Kind: TokString, Text: text, Parts: []StringPart{{Lit: text}}, Pos: pos}, nil
+}
+
+func (lx *lexer) doubleQuoted(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	var parts []StringPart
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			parts = append(parts, StringPart{Lit: lit.String()})
+			lit.Reset()
+		}
+	}
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated string")
+		}
+		r := lx.advance()
+		switch {
+		case r == '"':
+			flush()
+			if len(parts) == 0 {
+				parts = []StringPart{{Lit: ""}}
+			}
+			text := ""
+			for _, p := range parts {
+				if p.Var != "" {
+					text += "${" + p.Var + "}"
+				} else {
+					text += p.Lit
+				}
+			}
+			return Token{Kind: TokString, Text: text, Parts: parts, Pos: pos}, nil
+		case r == '\\':
+			if lx.pos >= len(lx.src) {
+				return Token{}, errf(pos, "unterminated string")
+			}
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				lit.WriteRune('\n')
+			case 't':
+				lit.WriteRune('\t')
+			default:
+				lit.WriteRune(esc)
+			}
+		case r == '$' && lx.peek() == '{':
+			lx.advance() // {
+			var name strings.Builder
+			for lx.pos < len(lx.src) && lx.peek() != '}' {
+				name.WriteRune(lx.advance())
+			}
+			if lx.pos >= len(lx.src) {
+				return Token{}, errf(pos, "unterminated interpolation")
+			}
+			lx.advance() // }
+			flush()
+			parts = append(parts, StringPart{Var: strings.TrimSpace(name.String())})
+		case r == '$' && isNameStart(lx.peek()):
+			var name strings.Builder
+			for lx.pos < len(lx.src) && (isNameRune(lx.peek()) && lx.peek() != '-' && lx.peek() != '.') {
+				name.WriteRune(lx.advance())
+			}
+			flush()
+			parts = append(parts, StringPart{Var: name.String()})
+		default:
+			lit.WriteRune(r)
+		}
+	}
+}
+
+func (lx *lexer) variable(pos Pos) (Token, error) {
+	var b strings.Builder
+	// Optional top-scope prefix: $::osfamily.
+	if lx.peek() == ':' && lx.peekAt(1) == ':' {
+		b.WriteRune(lx.advance())
+		b.WriteRune(lx.advance())
+	}
+	if !isNameStart(lx.peek()) {
+		return Token{}, errf(pos, "invalid variable name")
+	}
+	for lx.pos < len(lx.src) && (isNameRune(lx.peek()) || lx.peek() == ':') {
+		if lx.peek() == ':' {
+			if lx.peekAt(1) != ':' {
+				break
+			}
+			b.WriteRune(lx.advance())
+			b.WriteRune(lx.advance())
+			continue
+		}
+		b.WriteRune(lx.advance())
+	}
+	return Token{Kind: TokVariable, Text: b.String(), Pos: pos}, nil
+}
+
+func (lx *lexer) number(pos Pos) (Token, error) {
+	var b strings.Builder
+	for lx.pos < len(lx.src) && (unicode.IsDigit(lx.peek()) || lx.peek() == '.') {
+		b.WriteRune(lx.advance())
+	}
+	return Token{Kind: TokNumber, Text: b.String(), Pos: pos}, nil
+}
+
+func (lx *lexer) name(pos Pos) (Token, error) {
+	var b strings.Builder
+	first := lx.peek()
+	for lx.pos < len(lx.src) && (isNameRune(lx.peek()) || lx.peek() == ':') {
+		if lx.peek() == ':' {
+			if lx.peekAt(1) != ':' {
+				break
+			}
+			b.WriteRune(lx.advance())
+			b.WriteRune(lx.advance())
+			continue
+		}
+		b.WriteRune(lx.advance())
+	}
+	kind := TokName
+	if unicode.IsUpper(first) {
+		kind = TokTypeRef
+	}
+	return Token{Kind: kind, Text: b.String(), Pos: pos}, nil
+}

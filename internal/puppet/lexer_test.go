@@ -1,0 +1,154 @@
+package puppet
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`package{'vim': ensure => present }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokName, TokLBrace, TokString, TokColon,
+		TokName, TokFatArrow, TokName, TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v (%v)", i, got[i], want[i], toks[i])
+		}
+	}
+	if toks[0].Text != "package" || toks[2].Text != "vim" {
+		t.Errorf("texts: %q %q", toks[0].Text, toks[2].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`-> ~> => == != <= >= < > = ! ? @ <| |> ( ) [ ] ; ,`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokArrow, TokTildeArrow, TokFatArrow, TokEq, TokNeq, TokLe, TokGe,
+		TokLt, TokGt, TokAssign, TokBang, TokQuestion, TokAt,
+		TokCollectorOpen, TokCollectorEnd, TokLParen, TokRParen,
+		TokLBracket, TokRBracket, TokSemi, TokComma, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("# line comment\nfoo /* block\ncomment */ bar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "foo" || toks[1].Text != "bar" {
+		t.Fatalf("tokens: %v", toks)
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`'it\'s' "a $x and ${y} z" "\n\t"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Errorf("single quoted: %q", toks[0].Text)
+	}
+	parts := toks[1].Parts
+	if len(parts) != 5 || parts[0].Lit != "a " || parts[1].Var != "x" ||
+		parts[2].Lit != " and " || parts[3].Var != "y" || parts[4].Lit != " z" {
+		t.Errorf("interpolation parts: %+v", parts)
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Lex(`'unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestLexInterpolationTail(t *testing.T) {
+	toks, err := Lex(`"${x} z"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := toks[0].Parts
+	if len(parts) != 2 || parts[0].Var != "x" || parts[1].Lit != " z" {
+		t.Errorf("parts: %+v", parts)
+	}
+}
+
+func TestLexVariablesAndNamespaces(t *testing.T) {
+	toks, err := Lex(`$foo $::osfamily $a::b apache::vhost Foo::Bar`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "foo" || toks[0].Kind != TokVariable {
+		t.Errorf("var: %+v", toks[0])
+	}
+	if toks[1].Text != "::osfamily" {
+		t.Errorf("top-scope var: %q", toks[1].Text)
+	}
+	if toks[2].Text != "a::b" {
+		t.Errorf("namespaced var: %q", toks[2].Text)
+	}
+	if toks[3].Text != "apache::vhost" || toks[3].Kind != TokName {
+		t.Errorf("namespaced name: %+v", toks[3])
+	}
+	if toks[4].Kind != TokTypeRef {
+		t.Errorf("type ref: %+v", toks[4])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("42 3.14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "42" || toks[0].Kind != TokNumber {
+		t.Errorf("int: %+v", toks[0])
+	}
+	if toks[1].Text != "3.14" {
+		t.Errorf("float: %+v", toks[1])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"%", "^", "&", "+", "|x", "~x", "-x", "$1"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}

@@ -1,0 +1,859 @@
+package puppet
+
+import "strings"
+
+// ParseExpression parses a single expression (used for ${...}
+// interpolations that go beyond a plain variable name).
+func ParseExpression(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != TokEOF {
+		return nil, errf(t.Pos, "unexpected %s after expression", describe(t))
+	}
+	return e, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete manifest into a statement list.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Stmt
+	for p.peek().Kind != TokEOF {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peekAt(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+n]
+}
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind {
+		return t, errf(t.Pos, "expected %s, found %s", kind, describe(t))
+	}
+	return p.advance(), nil
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case TokName, TokTypeRef, TokNumber:
+		return "'" + t.Text + "'"
+	case TokVariable:
+		return "'$" + t.Text + "'"
+	case TokString:
+		return "string"
+	default:
+		return t.Kind.String()
+	}
+}
+
+// normalizeType lowercases a resource type name (Package → package).
+func normalizeType(name string) string { return strings.ToLower(name) }
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokName:
+		switch t.Text {
+		case "define":
+			return p.defineDecl()
+		case "class":
+			// 'class {' is a class resource declaration; 'class name' is a
+			// class definition.
+			if p.peekAt(1).Kind == TokLBrace {
+				return p.maybeChained(t.Pos)
+			}
+			return p.classDecl()
+		case "include", "require_class":
+			return p.includeStmt()
+		case "if":
+			return p.ifStmt()
+		case "unless":
+			return p.unlessStmt()
+		case "case":
+			return p.caseStmt()
+		case "node":
+			return p.nodeDecl()
+		case "realize":
+			return p.realizeStmt()
+		case "fail":
+			return p.failStmt()
+		default:
+			if p.peekAt(1).Kind == TokLBrace {
+				return p.maybeChained(t.Pos)
+			}
+			return nil, errf(t.Pos, "unexpected %s at statement position", describe(t))
+		}
+	case TokVariable:
+		if p.peekAt(1).Kind == TokAssign {
+			return p.assignStmt()
+		}
+		return nil, errf(t.Pos, "expected '=' after variable at statement position")
+	case TokAt:
+		p.advance()
+		if p.peek().Kind != TokName || p.peekAt(1).Kind != TokLBrace {
+			return nil, errf(t.Pos, "expected virtual resource declaration after '@'")
+		}
+		return p.resourceDecl(true)
+	case TokTypeRef:
+		switch p.peekAt(1).Kind {
+		case TokLBracket:
+			return p.maybeChained(t.Pos)
+		case TokCollectorOpen:
+			return p.collectorStmt()
+		case TokLBrace:
+			return p.defaultsDecl()
+		}
+		return nil, errf(t.Pos, "expected '[', '<|' or '{' after type name %q", t.Text)
+	}
+	return nil, errf(t.Pos, "unexpected %s at statement position", describe(t))
+}
+
+// chainElem parses one operand of a chaining expression: a resource
+// reference or an inline resource declaration.
+func (p *parser) chainElem() (ChainElem, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokTypeRef && p.peekAt(1).Kind == TokLBracket:
+		ref, err := p.refExpr()
+		if err != nil {
+			return ChainElem{}, err
+		}
+		return ChainElem{Ref: &ref}, nil
+	case t.Kind == TokName && p.peekAt(1).Kind == TokLBrace:
+		decl, err := p.resourceDecl(false)
+		if err != nil {
+			return ChainElem{}, err
+		}
+		rd := decl.(ResourceDecl)
+		return ChainElem{Decl: &rd}, nil
+	default:
+		return ChainElem{}, errf(t.Pos, "expected resource reference or declaration in chain, found %s", describe(t))
+	}
+}
+
+// maybeChained parses a chainable operand (reference or declaration) and
+// any following -> / ~> chain. A bare declaration is returned as-is; a
+// bare reference is an error (it has no effect).
+func (p *parser) maybeChained(pos Pos) (Stmt, error) {
+	first, err := p.chainElem()
+	if err != nil {
+		return nil, err
+	}
+	chain := ChainStmt{Elems: []ChainElem{first}, Pos: pos}
+	for {
+		var op ChainOp
+		switch p.peek().Kind {
+		case TokArrow:
+			op = ChainBefore
+		case TokTildeArrow:
+			op = ChainNotify
+		default:
+			if len(chain.Ops) > 0 {
+				return chain, nil
+			}
+			if first.Decl != nil {
+				return *first.Decl, nil
+			}
+			return nil, errf(pos, "expected '->' or '~>' after resource reference")
+		}
+		p.advance()
+		next, err := p.chainElem()
+		if err != nil {
+			return nil, err
+		}
+		chain.Ops = append(chain.Ops, op)
+		chain.Elems = append(chain.Elems, next)
+	}
+}
+
+func (p *parser) unlessStmt() (Stmt, error) {
+	pos := p.advance().Pos // unless
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.peek().Kind == TokName && p.peek().Text == "else" {
+		p.advance()
+		els, err = p.block()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return IfStmt{Cond: NotExpr{X: cond, Pos: pos}, Then: then, Else: els, Pos: pos}, nil
+}
+
+func (p *parser) nodeDecl() (Stmt, error) {
+	pos := p.advance().Pos // node
+	var names []string
+	for {
+		t := p.peek()
+		if t.Kind != TokName && t.Kind != TokString {
+			return nil, errf(t.Pos, "expected node name, found %s", describe(t))
+		}
+		p.advance()
+		names = append(names, strings.ToLower(t.Text))
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.advance()
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return NodeDecl{Names: names, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) realizeStmt() (Stmt, error) {
+	pos := p.advance().Pos // realize
+	parens := false
+	if p.peek().Kind == TokLParen {
+		parens = true
+		p.advance()
+	}
+	var refs []RefExpr
+	for {
+		ref, err := p.refExpr()
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, ref)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.advance()
+	}
+	if parens {
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	return RealizeStmt{Refs: refs, Pos: pos}, nil
+}
+
+func (p *parser) failStmt() (Stmt, error) {
+	pos := p.advance().Pos // fail
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	msg, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return FailStmt{Message: msg, Pos: pos}, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for p.peek().Kind != TokRBrace {
+		if p.peek().Kind == TokEOF {
+			return nil, errf(p.peek().Pos, "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	p.advance() // }
+	return out, nil
+}
+
+func (p *parser) paramList() ([]Param, error) {
+	var params []Param
+	if p.peek().Kind != TokLParen {
+		return nil, nil
+	}
+	p.advance() // (
+	for p.peek().Kind != TokRParen {
+		v, err := p.expect(TokVariable)
+		if err != nil {
+			return nil, err
+		}
+		param := Param{Name: v.Text}
+		if p.peek().Kind == TokAssign {
+			p.advance()
+			def, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			param.Default = def
+		}
+		params = append(params, param)
+		if p.peek().Kind == TokComma {
+			p.advance()
+		}
+	}
+	p.advance() // )
+	return params, nil
+}
+
+func (p *parser) defineDecl() (Stmt, error) {
+	pos := p.advance().Pos // define
+	name, err := p.expect(TokName)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return DefineDecl{Name: normalizeType(name.Text), Params: params, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) classDecl() (Stmt, error) {
+	pos := p.advance().Pos // class
+	name, err := p.expect(TokName)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	// Optional 'inherits' is not supported; report it clearly.
+	if p.peek().Kind == TokName && p.peek().Text == "inherits" {
+		return nil, errf(p.peek().Pos, "class inheritance is not supported")
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return ClassDecl{Name: normalizeType(name.Text), Params: params, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) includeStmt() (Stmt, error) {
+	pos := p.advance().Pos // include
+	var names []string
+	for {
+		n := p.peek()
+		if n.Kind != TokName && n.Kind != TokString {
+			return nil, errf(n.Pos, "expected class name after include")
+		}
+		p.advance()
+		names = append(names, normalizeType(n.Text))
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.advance()
+	}
+	return IncludeStmt{Names: names, Pos: pos}, nil
+}
+
+func (p *parser) assignStmt() (Stmt, error) {
+	v := p.advance() // variable
+	p.advance()      // =
+	val, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return AssignStmt{Name: v.Text, Value: val, Pos: v.Pos}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	pos := p.advance().Pos // if / elsif
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.peek().Kind == TokName {
+		switch p.peek().Text {
+		case "elsif":
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{nested}
+		case "else":
+			p.advance()
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+}
+
+func (p *parser) caseStmt() (Stmt, error) {
+	pos := p.advance().Pos // case
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var cases []CaseClause
+	for p.peek().Kind != TokRBrace {
+		var clause CaseClause
+		if p.peek().Kind == TokName && p.peek().Text == "default" {
+			p.advance()
+		} else {
+			for {
+				m, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				clause.Matches = append(clause.Matches, m)
+				if p.peek().Kind != TokComma {
+					break
+				}
+				p.advance()
+			}
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		clause.Body = body
+		cases = append(cases, clause)
+	}
+	p.advance() // }
+	return CaseStmt{Cond: cond, Cases: cases, Pos: pos}, nil
+}
+
+func (p *parser) resourceDecl(virtual bool) (Stmt, error) {
+	t := p.advance() // type name
+	decl := ResourceDecl{Virtual: virtual, Type: normalizeType(t.Text), Pos: t.Pos}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for {
+		title, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		attrs, err := p.attrList(TokRBrace, TokSemi)
+		if err != nil {
+			return nil, err
+		}
+		decl.Bodies = append(decl.Bodies, ResourceBody{Title: title, Attrs: attrs})
+		if p.peek().Kind == TokSemi {
+			p.advance()
+			if p.peek().Kind == TokRBrace {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+// attrList parses name => value pairs until one of the stop tokens.
+func (p *parser) attrList(stops ...TokenKind) ([]Attr, error) {
+	var attrs []Attr
+	isStop := func(k TokenKind) bool {
+		for _, s := range stops {
+			if k == s {
+				return true
+			}
+		}
+		return false
+	}
+	for !isStop(p.peek().Kind) {
+		name := p.peek()
+		if name.Kind != TokName {
+			return nil, errf(name.Pos, "expected attribute name, found %s", describe(name))
+		}
+		p.advance()
+		if t := p.peek(); t.Kind == TokPlusArrow {
+			return nil, errf(t.Pos, "the +> operator is not supported")
+		}
+		if _, err := p.expect(TokFatArrow); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, Attr{Name: name.Text, Value: val, Pos: name.Pos})
+		if p.peek().Kind == TokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	return attrs, nil
+}
+
+func (p *parser) defaultsDecl() (Stmt, error) {
+	t := p.advance() // Type
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	attrs, err := p.attrList(TokRBrace)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return DefaultsDecl{Type: normalizeType(t.Text), Attrs: attrs, Pos: t.Pos}, nil
+}
+
+func (p *parser) refExpr() (RefExpr, error) {
+	t, err := p.expect(TokTypeRef)
+	if err != nil {
+		return RefExpr{}, err
+	}
+	ref := RefExpr{Type: normalizeType(t.Text), Pos: t.Pos}
+	if _, err := p.expect(TokLBracket); err != nil {
+		return RefExpr{}, err
+	}
+	for {
+		title, err := p.expression()
+		if err != nil {
+			return RefExpr{}, err
+		}
+		ref.Titles = append(ref.Titles, title)
+		if p.peek().Kind == TokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return RefExpr{}, err
+	}
+	return ref, nil
+}
+
+func (p *parser) collectorStmt() (Stmt, error) {
+	t := p.advance() // Type
+	p.advance()      // <|
+	coll := CollectorStmt{Type: normalizeType(t.Text), Pos: t.Pos}
+	if p.peek().Kind != TokCollectorEnd {
+		attr, err := p.expect(TokName)
+		if err != nil {
+			return nil, err
+		}
+		var neq bool
+		switch p.peek().Kind {
+		case TokEq:
+			neq = false
+		case TokNeq:
+			neq = true
+		default:
+			return nil, errf(p.peek().Pos, "expected '==' or '!=' in collector query")
+		}
+		p.advance()
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		coll.Query = &CollQuery{Attr: attr.Text, Neq: neq, Value: val}
+	}
+	if _, err := p.expect(TokCollectorEnd); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokLBrace {
+		p.advance()
+		attrs, err := p.attrList(TokRBrace)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		coll.Overrides = attrs
+	}
+	return coll, nil
+}
+
+// expression parses with precedence: or < and < comparison < unary.
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokName && p.peek().Text == "or" {
+		pos := p.advance().Pos
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: OpOr, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokName && p.peek().Text == "and" {
+		pos := p.advance().Pos
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: OpAnd, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch t := p.peek(); {
+		case t.Kind == TokEq:
+			op = OpEq
+		case t.Kind == TokNeq:
+			op = OpNeq
+		case t.Kind == TokLt:
+			op = OpLt
+		case t.Kind == TokGt:
+			op = OpGt
+		case t.Kind == TokLe:
+			op = OpLe
+		case t.Kind == TokGe:
+			op = OpGe
+		case t.Kind == TokName && t.Text == "in":
+			op = OpIn
+		default:
+			return l, nil
+		}
+		pos := p.advance().Pos
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.peek().Kind == TokBang {
+		pos := p.advance().Pos
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{X: x, Pos: pos}, nil
+	}
+	return p.postfixExpr()
+}
+
+// postfixExpr parses a primary expression optionally followed by
+// subscripts ($h['k'], $a[0]) and the selector operator ?.
+func (p *parser) postfixExpr() (Expr, error) {
+	prim, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	// Subscripting applies to variables and parenthesized values, not to
+	// resource references (whose brackets were already consumed).
+	if _, isRef := prim.(RefExpr); !isRef {
+		for p.peek().Kind == TokLBracket {
+			pos := p.advance().Pos // [
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			prim = IndexExpr{X: prim, Index: idx, Pos: pos}
+		}
+	}
+	if p.peek().Kind != TokQuestion {
+		return prim, nil
+	}
+	pos := p.advance().Pos // ?
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	sel := SelectorExpr{Cond: prim, Pos: pos}
+	for p.peek().Kind != TokRBrace {
+		var c SelCase
+		if p.peek().Kind == TokName && p.peek().Text == "default" {
+			p.advance()
+		} else {
+			m, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			c.Match = m
+		}
+		if _, err := p.expect(TokFatArrow); err != nil {
+			return nil, err
+		}
+		v, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		c.Value = v
+		sel.Cases = append(sel.Cases, c)
+		if p.peek().Kind == TokComma {
+			p.advance()
+		}
+	}
+	p.advance() // }
+	return sel, nil
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokString:
+		p.advance()
+		return StrExpr{Parts: t.Parts, Pos: t.Pos}, nil
+	case TokNumber:
+		p.advance()
+		return NumExpr{Text: t.Text, Pos: t.Pos}, nil
+	case TokVariable:
+		p.advance()
+		return VarExpr{Name: t.Text, Pos: t.Pos}, nil
+	case TokLBracket:
+		p.advance()
+		arr := ArrayExpr{Pos: t.Pos}
+		for p.peek().Kind != TokRBracket {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			arr.Elems = append(arr.Elems, e)
+			if p.peek().Kind == TokComma {
+				p.advance()
+			}
+		}
+		p.advance() // ]
+		return arr, nil
+	case TokLBrace:
+		p.advance()
+		h := HashExpr{Pos: t.Pos}
+		for p.peek().Kind != TokRBrace {
+			k, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokFatArrow); err != nil {
+				return nil, err
+			}
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			h.Pairs = append(h.Pairs, HashPair{Key: k, Value: v})
+			if p.peek().Kind == TokComma {
+				p.advance()
+			}
+		}
+		p.advance() // }
+		return h, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokTypeRef:
+		return p.refExpr()
+	case TokName:
+		switch t.Text {
+		case "true":
+			p.advance()
+			return BoolExpr{V: true, Pos: t.Pos}, nil
+		case "false":
+			p.advance()
+			return BoolExpr{V: false, Pos: t.Pos}, nil
+		case "undef":
+			p.advance()
+			return UndefExpr{Pos: t.Pos}, nil
+		case "defined":
+			p.advance()
+			if _, err := p.expect(TokLParen); err != nil {
+				return nil, err
+			}
+			ref, err := p.refExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return DefinedExpr{Ref: ref, Pos: t.Pos}, nil
+		default:
+			// Bare words are string literals.
+			p.advance()
+			return StrExpr{Parts: []StringPart{{Lit: t.Text}}, Pos: t.Pos}, nil
+		}
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", describe(t))
+}

@@ -1,0 +1,122 @@
+package puppet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genValue wraps a random Puppet runtime value.
+type genValue struct{ v Value }
+
+func randomValue(r *rand.Rand, depth int) Value {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return StrV([]string{"a", "B", "", "10", "présent"}[r.Intn(5)])
+		case 1:
+			return NumV(float64(r.Intn(100)) / 4)
+		case 2:
+			return BoolV(r.Intn(2) == 0)
+		case 3:
+			return UndefV{}
+		default:
+			return RefV{Type: "package", Title: []string{"vim", "ntp"}[r.Intn(2)]}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := r.Intn(3)
+		arr := make(ArrV, n)
+		for i := range arr {
+			arr[i] = randomValue(r, depth-1)
+		}
+		return arr
+	case 1:
+		n := r.Intn(3)
+		h := make(HashV, 0, n)
+		for i := 0; i < n; i++ {
+			h = append(h, HashEntry{Key: StrV(string(rune('a' + i))), Value: randomValue(r, depth-1)})
+		}
+		return h
+	default:
+		return randomValue(r, 0)
+	}
+}
+
+// Generate implements quick.Generator.
+func (genValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genValue{v: randomValue(r, 2)})
+}
+
+// ValueEq is reflexive.
+func TestQuickValueEqReflexive(t *testing.T) {
+	f := func(g genValue) bool { return ValueEq(g.v, g.v) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ValueEq is symmetric.
+func TestQuickValueEqSymmetric(t *testing.T) {
+	f := func(a, b genValue) bool {
+		return ValueEq(a.v, b.v) == ValueEq(b.v, a.v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Equal values render compatibly for numeric/string coercions: if two
+// values are ValueEq and both are scalars, their ValueString forms are
+// ValueEq again (interpolation does not break equality).
+func TestQuickValueStringPreservesScalarEq(t *testing.T) {
+	scalar := func(v Value) bool {
+		switch v.(type) {
+		case StrV, NumV:
+			return true
+		}
+		return false
+	}
+	f := func(a, b genValue) bool {
+		if !scalar(a.v) || !scalar(b.v) || !ValueEq(a.v, b.v) {
+			return true // vacuous
+		}
+		return ValueEq(StrV(ValueString(a.v)), StrV(ValueString(b.v)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Truthiness: only false and undef are false (section "Puppet truthiness").
+func TestQuickTruthy(t *testing.T) {
+	f := func(g genValue) bool {
+		switch v := g.v.(type) {
+		case BoolV:
+			return Truthy(g.v) == bool(v)
+		case UndefV:
+			return !Truthy(g.v)
+		default:
+			return Truthy(g.v)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lexing is total on double-quoted strings built from arbitrary printable
+// payloads: the lexer either errors or round-trips the token stream
+// without panicking.
+func TestQuickLexNoPanics(t *testing.T) {
+	f := func(payload string) bool {
+		_, _ = Lex(payload) // must not panic; errors are fine
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package puppet implements the frontend of Rehearsal: a lexer, parser and
+// evaluator for the subset of the Puppet DSL described in section 2
+// (figure 1) extended with the features the paper's compiler handles in
+// section 3.1 — classes, defined types, conditionals, selectors, resource
+// defaults, virtual resources and collectors, stages, chaining arrows and
+// dependency metaparameters. Evaluation produces a catalog of primitive
+// resources and dependency edges, from which package resources builds the
+// resource graph of figure 4.
+package puppet
+
+import "fmt"
+
+// TokenKind enumerates lexical token types.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF           TokenKind = iota
+	TokName                    // bare word: package, present, apache2
+	TokTypeRef                 // capitalized name: Package, File (possibly A::B)
+	TokVariable                // $x
+	TokString                  // quoted string (parts carry interpolation)
+	TokNumber                  // 42, 3.14
+	TokLBrace                  // {
+	TokRBrace                  // }
+	TokLBracket                // [
+	TokRBracket                // ]
+	TokLParen                  // (
+	TokRParen                  // )
+	TokColon                   // :
+	TokSemi                    // ;
+	TokComma                   // ,
+	TokFatArrow                // =>
+	TokPlusArrow               // +>
+	TokArrow                   // ->
+	TokTildeArrow              // ~>
+	TokEq                      // ==
+	TokNeq                     // !=
+	TokLt                      // <
+	TokGt                      // >
+	TokLe                      // <=
+	TokGe                      // >=
+	TokAssign                  // =
+	TokBang                    // !
+	TokQuestion                // ?
+	TokAt                      // @
+	TokCollectorOpen           // <|
+	TokCollectorEnd            // |>
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokName:
+		return "name"
+	case TokTypeRef:
+		return "type reference"
+	case TokVariable:
+		return "variable"
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokColon:
+		return "':'"
+	case TokSemi:
+		return "';'"
+	case TokComma:
+		return "','"
+	case TokFatArrow:
+		return "'=>'"
+	case TokPlusArrow:
+		return "'+>'"
+	case TokArrow:
+		return "'->'"
+	case TokTildeArrow:
+		return "'~>'"
+	case TokEq:
+		return "'=='"
+	case TokNeq:
+		return "'!='"
+	case TokLt:
+		return "'<'"
+	case TokGt:
+		return "'>'"
+	case TokLe:
+		return "'<='"
+	case TokGe:
+		return "'>='"
+	case TokAssign:
+		return "'='"
+	case TokBang:
+		return "'!'"
+	case TokQuestion:
+		return "'?'"
+	case TokAt:
+		return "'@'"
+	case TokCollectorOpen:
+		return "'<|'"
+	case TokCollectorEnd:
+		return "'|>'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// StringPart is a piece of a double-quoted string: either literal text or
+// an interpolated variable.
+type StringPart struct {
+	Lit string // literal text, when Var is empty
+	Var string // variable name (without $), when non-empty
+}
+
+// Token is a lexical token.
+type Token struct {
+	Kind  TokenKind
+	Text  string       // raw text (name, variable name without $, number)
+	Parts []StringPart // for TokString
+	Pos   Pos
+}
+
+// Error is a frontend error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,199 @@
+package puppet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a runtime value of the Puppet evaluator.
+type Value interface{ isValue() }
+
+// StrV is a string value.
+type StrV string
+
+// NumV is a numeric value.
+type NumV float64
+
+// BoolV is a boolean value.
+type BoolV bool
+
+// UndefV is undef.
+type UndefV struct{}
+
+// ArrV is an array value.
+type ArrV []Value
+
+// HashEntry is one key/value pair of a hash value.
+type HashEntry struct {
+	Key   Value
+	Value Value
+}
+
+// HashV is a hash value (insertion-ordered).
+type HashV []HashEntry
+
+// RefV is a resource reference value (type is normalized lowercase).
+type RefV struct {
+	Type  string
+	Title string
+}
+
+func (StrV) isValue()   {}
+func (NumV) isValue()   {}
+func (BoolV) isValue()  {}
+func (UndefV) isValue() {}
+func (ArrV) isValue()   {}
+func (HashV) isValue()  {}
+func (RefV) isValue()   {}
+
+// ValueString renders a value the way Puppet would interpolate it.
+func ValueString(v Value) string {
+	switch v := v.(type) {
+	case StrV:
+		return string(v)
+	case NumV:
+		if v == NumV(int64(v)) {
+			return strconv.FormatInt(int64(v), 10)
+		}
+		return strconv.FormatFloat(float64(v), 'g', -1, 64)
+	case BoolV:
+		if v {
+			return "true"
+		}
+		return "false"
+	case UndefV:
+		return ""
+	case ArrV:
+		parts := make([]string, len(v))
+		for i, e := range v {
+			parts[i] = ValueString(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case HashV:
+		parts := make([]string, len(v))
+		for i, e := range v {
+			parts[i] = ValueString(e.Key) + " => " + ValueString(e.Value)
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case RefV:
+		return titleCase(v.Type) + "[" + v.Title + "]"
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// Truthy implements Puppet truthiness: false and undef are false,
+// everything else (including the empty string) is true.
+func Truthy(v Value) bool {
+	switch v := v.(type) {
+	case BoolV:
+		return bool(v)
+	case UndefV:
+		return false
+	default:
+		return true
+	}
+}
+
+// ValueEq implements Puppet ==: strings compare case-insensitively,
+// numbers numerically (including numeric strings), arrays and hashes
+// element-wise.
+func ValueEq(a, b Value) bool {
+	if na, aok := toNum(a); aok {
+		if nb, bok := toNum(b); bok {
+			return na == nb
+		}
+	}
+	switch a := a.(type) {
+	case StrV:
+		if b, ok := b.(StrV); ok {
+			return strings.EqualFold(string(a), string(b))
+		}
+	case BoolV:
+		if b, ok := b.(BoolV); ok {
+			return a == b
+		}
+	case UndefV:
+		_, ok := b.(UndefV)
+		return ok
+	case ArrV:
+		b, ok := b.(ArrV)
+		if !ok || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !ValueEq(a[i], b[i]) {
+				return false
+			}
+		}
+		return true
+	case HashV:
+		b, ok := b.(HashV)
+		if !ok || len(a) != len(b) {
+			return false
+		}
+		// Order-insensitive comparison by rendered key.
+		am, bm := hashByKey(a), hashByKey(b)
+		if len(am) != len(bm) {
+			return false
+		}
+		keys := make([]string, 0, len(am))
+		for k := range am {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bv, ok := bm[k]
+			if !ok || !ValueEq(am[k], bv) {
+				return false
+			}
+		}
+		return true
+	case RefV:
+		if b, ok := b.(RefV); ok {
+			return a.Type == b.Type && strings.EqualFold(a.Title, b.Title)
+		}
+	}
+	return false
+}
+
+func hashByKey(h HashV) map[string]Value {
+	out := make(map[string]Value, len(h))
+	for _, e := range h {
+		out[ValueString(e.Key)] = e.Value
+	}
+	return out
+}
+
+// toNum converts numeric values and numeric strings.
+func toNum(v Value) (float64, bool) {
+	switch v := v.(type) {
+	case NumV:
+		return float64(v), true
+	case StrV:
+		f, err := strconv.ParseFloat(strings.TrimSpace(string(v)), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+// compareNum compares numerically for < > <= >=; both operands must be
+// numeric (or numeric strings).
+func compareNum(a, b Value) (float64, float64, bool) {
+	na, aok := toNum(a)
+	nb, bok := toNum(b)
+	return na, nb, aok && bok
+}

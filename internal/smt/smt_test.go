@@ -1,0 +1,354 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+func TestConstants(t *testing.T) {
+	s := NewSolver()
+	if s.Bool(true) != TrueT || s.Bool(false) != FalseT {
+		t.Fatal("Bool constants")
+	}
+	s.Assert(TrueT)
+	if s.Check() != sat.Sat {
+		t.Fatal("true should be sat")
+	}
+	s.Assert(FalseT)
+	if s.Check() != sat.Unsat {
+		t.Fatal("false should be unsat")
+	}
+}
+
+func TestFolding(t *testing.T) {
+	s := NewSolver()
+	a := s.Var("a")
+	cases := []struct{ got, want T }{
+		{s.Not(s.Not(a)), a},
+		{s.And(a, TrueT), a},
+		{s.And(a, FalseT), FalseT},
+		{s.Or(a, FalseT), a},
+		{s.Or(a, TrueT), TrueT},
+		{s.And(a, a), a},
+		{s.Or(a, a), a},
+		{s.And(a, s.Not(a)), FalseT},
+		{s.Or(a, s.Not(a)), TrueT},
+		{s.And(), TrueT},
+		{s.Or(), FalseT},
+		{s.Ite(TrueT, a, FalseT), a},
+		{s.Ite(FalseT, a, TrueT), TrueT},
+		{s.Ite(a, TrueT, FalseT), a},
+		{s.Ite(a, FalseT, TrueT), s.Not(a)},
+		{s.Iff(a, a), TrueT},
+		{s.Iff(a, TrueT), a},
+		{s.Xor(a, a), FalseT},
+		{s.Implies(FalseT, a), TrueT},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: got t%d want t%d", i, c.got, c.want)
+		}
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	s := NewSolver()
+	a, b := s.Var("a"), s.Var("b")
+	if s.And(a, b) != s.And(b, a) {
+		t.Error("And not commutatively interned")
+	}
+	if s.Or(a, b) != s.Or(b, a) {
+		t.Error("Or not commutatively interned")
+	}
+	if s.And(a, s.And(a, b)) != s.And(a, b) {
+		t.Error("And not flattened/deduped")
+	}
+	if s.Not(a) != s.Not(a) {
+		t.Error("Not not interned")
+	}
+}
+
+func TestSolveSimple(t *testing.T) {
+	s := NewSolver()
+	a, b := s.Var("a"), s.Var("b")
+	s.Assert(s.Or(a, b))
+	s.Assert(s.Not(a))
+	if s.Check() != sat.Sat {
+		t.Fatal("expected sat")
+	}
+	if s.BoolValue(a) || !s.BoolValue(b) {
+		t.Fatalf("model wrong: a=%v b=%v", s.BoolValue(a), s.BoolValue(b))
+	}
+	s.Assert(s.Not(b))
+	if s.Check() != sat.Unsat {
+		t.Fatal("expected unsat")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := NewSolver()
+	a, b := s.Var("a"), s.Var("b")
+	s.Assert(s.Implies(a, b))
+	if s.Check(a, s.Not(b)) != sat.Unsat {
+		t.Fatal("a ∧ ¬b should contradict a→b")
+	}
+	if s.Check(a) != sat.Sat {
+		t.Fatal("a alone should be sat")
+	}
+	if !s.BoolValue(b) {
+		t.Fatal("b must be true when a assumed")
+	}
+}
+
+func TestIteSemantics(t *testing.T) {
+	s := NewSolver()
+	c, a, b := s.Var("c"), s.Var("a"), s.Var("b")
+	ite := s.Ite(c, a, b)
+	// Force c=true, a=false: ite must be false.
+	s.Assert(c)
+	s.Assert(s.Not(a))
+	s.Assert(b)
+	if s.Check() != sat.Sat {
+		t.Fatal("sat expected")
+	}
+	if s.BoolValue(ite) {
+		t.Fatal("ite should evaluate to a=false")
+	}
+	// And asserting ite must now be unsat.
+	s.Assert(ite)
+	if s.Check() != sat.Unsat {
+		t.Fatal("unsat expected")
+	}
+}
+
+func TestSortBits(t *testing.T) {
+	cases := []struct{ size, bits int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+	}
+	for _, c := range cases {
+		if got := (Sort{"s", c.size}).Bits(); got != c.bits {
+			t.Errorf("Bits(size=%d) = %d, want %d", c.size, got, c.bits)
+		}
+	}
+}
+
+func TestEnumBasics(t *testing.T) {
+	s := NewSolver()
+	sort3 := Sort{"kind", 3}
+	x := s.EnumVar(sort3, "x")
+	s.Assert(s.EnumIs(x, 2))
+	if s.Check() != sat.Sat {
+		t.Fatal("sat expected")
+	}
+	if got := s.EnumValue(x); got != 2 {
+		t.Fatalf("EnumValue = %d, want 2", got)
+	}
+	// Two different constants are never equal.
+	if s.EnumEq(s.EnumConst(sort3, 0), s.EnumConst(sort3, 1)) != FalseT {
+		t.Error("distinct constants should fold to false")
+	}
+	if s.EnumEq(s.EnumConst(sort3, 1), s.EnumConst(sort3, 1)) != TrueT {
+		t.Error("same constants should fold to true")
+	}
+}
+
+func TestEnumRange(t *testing.T) {
+	s := NewSolver()
+	sort3 := Sort{"kind", 3} // values 0,1,2 over 2 bits; 3 must be excluded
+	x := s.EnumVar(sort3, "x")
+	s.Assert(s.Not(s.EnumIs(x, 0)))
+	s.Assert(s.Not(s.EnumIs(x, 1)))
+	s.Assert(s.Not(s.EnumIs(x, 2)))
+	if s.Check() != sat.Unsat {
+		t.Fatal("all values excluded should be unsat (range constraint)")
+	}
+}
+
+func TestEnumIte(t *testing.T) {
+	s := NewSolver()
+	sort4 := Sort{"v", 4}
+	c := s.Var("c")
+	x := s.EnumIte(c, s.EnumConst(sort4, 1), s.EnumConst(sort4, 3))
+	s.Assert(s.EnumIs(x, 3))
+	if s.Check() != sat.Sat {
+		t.Fatal("sat expected")
+	}
+	if s.BoolValue(c) {
+		t.Fatal("c must be false for x==3")
+	}
+}
+
+func TestEnumEqVars(t *testing.T) {
+	s := NewSolver()
+	sort5 := Sort{"v", 5}
+	x := s.EnumVar(sort5, "x")
+	y := s.EnumVar(sort5, "y")
+	s.Assert(s.EnumEq(x, y))
+	s.Assert(s.EnumIs(x, 4))
+	if s.Check() != sat.Sat {
+		t.Fatal("sat expected")
+	}
+	if got := s.EnumValue(y); got != 4 {
+		t.Fatalf("y = %d, want 4", got)
+	}
+	s.Assert(s.Not(s.EnumIs(y, 4)))
+	if s.Check() != sat.Unsat {
+		t.Fatal("unsat expected")
+	}
+}
+
+func TestSingletonSort(t *testing.T) {
+	s := NewSolver()
+	one := Sort{"unit", 1}
+	x := s.EnumVar(one, "x")
+	y := s.EnumVar(one, "y")
+	if s.EnumEq(x, y) != TrueT {
+		t.Error("singleton sort values are always equal")
+	}
+	if s.EnumValue(x) != 0 {
+		t.Error("singleton value must be 0")
+	}
+}
+
+// Random-formula property test: build a random term, pick a random
+// assignment, assert term bits accordingly, and verify Check/BoolValue
+// agree with direct evaluation.
+func TestRandomTermsAgainstEvaluation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		s := NewSolver()
+		vars := make([]T, 5)
+		for i := range vars {
+			vars[i] = s.Var("v")
+		}
+		assign := make(map[T]bool)
+		for _, v := range vars {
+			assign[v] = r.Intn(2) == 0
+		}
+		var gen func(depth int) T
+		gen = func(depth int) T {
+			if depth == 0 {
+				return vars[r.Intn(len(vars))]
+			}
+			switch r.Intn(5) {
+			case 0:
+				return s.Not(gen(depth - 1))
+			case 1:
+				return s.And(gen(depth-1), gen(depth-1))
+			case 2:
+				return s.Or(gen(depth-1), gen(depth-1))
+			case 3:
+				return s.Ite(gen(depth-1), gen(depth-1), gen(depth-1))
+			default:
+				return vars[r.Intn(len(vars))]
+			}
+		}
+		term := gen(4)
+
+		// Direct evaluation under assign.
+		var eval func(t T) bool
+		eval = func(t T) bool {
+			switch t {
+			case TrueT:
+				return true
+			case FalseT:
+				return false
+			}
+			if v, ok := assign[t]; ok {
+				return v
+			}
+			n := s.nodes[t]
+			switch n.op {
+			case opNot:
+				return !eval(n.args[0])
+			case opAnd:
+				for _, a := range n.args {
+					if !eval(a) {
+						return false
+					}
+				}
+				return true
+			case opOr:
+				for _, a := range n.args {
+					if eval(a) {
+						return true
+					}
+				}
+				return false
+			case opIte:
+				if eval(n.args[0]) {
+					return eval(n.args[1])
+				}
+				return eval(n.args[2])
+			}
+			panic("unreachable")
+		}
+		want := eval(term)
+
+		// Pin the variable assignment and the term's expected value.
+		for _, v := range vars {
+			if assign[v] {
+				s.Assert(v)
+			} else {
+				s.Assert(s.Not(v))
+			}
+		}
+		if want {
+			s.Assert(term)
+		} else {
+			s.Assert(s.Not(term))
+		}
+		if s.Check() != sat.Sat {
+			t.Fatalf("trial %d: pinned evaluation should be sat (want %v)", trial, want)
+		}
+		if got := s.BoolValue(term); got != want {
+			t.Fatalf("trial %d: BoolValue=%v want %v", trial, got, want)
+		}
+	}
+}
+
+func TestEnumValueDistribution(t *testing.T) {
+	// For every value of a sort, asserting x==v must be satisfiable and
+	// the model must report v.
+	s := NewSolver()
+	sort7 := Sort{"v", 7}
+	for v := 0; v < 7; v++ {
+		x := s.EnumVar(sort7, "x")
+		s.Assert(s.EnumIs(x, v))
+		if s.Check() != sat.Sat {
+			t.Fatalf("x==%d unsat", v)
+		}
+		if got := s.EnumValue(x); got != v {
+			t.Fatalf("EnumValue=%d want %d", got, v)
+		}
+	}
+}
+
+func TestBudgetUnknown(t *testing.T) {
+	s := NewSolver()
+	// Build a modest pigeonhole instance at the term level.
+	holes, pigeons := 8, 9
+	at := make([][]T, pigeons)
+	for p := range at {
+		at[p] = make([]T, holes)
+		for h := range at[p] {
+			at[p][h] = s.Var("at")
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		s.Assert(s.Or(at[p]...))
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.Assert(s.Or(s.Not(at[p1][h]), s.Not(at[p2][h])))
+			}
+		}
+	}
+	s.SetBudget(10)
+	if got := s.Check(); got != sat.Unknown {
+		t.Fatalf("Check with tiny budget = %v, want unknown", got)
+	}
+}

@@ -1,0 +1,88 @@
+package sym
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fs"
+	"repro/internal/sat"
+)
+
+// ErrBudget reports that the solver exhausted its conflict budget before
+// deciding the query; callers treat it as a timeout.
+var ErrBudget = errors.New("sym: solver budget exhausted")
+
+// Counterexample witnesses the inequivalence of two expressions: a concrete
+// input filesystem on which they produce different outcomes.
+type Counterexample struct {
+	Input      fs.State
+	Ok1, Ok2   bool     // success/error outcome of each expression
+	Out1, Out2 fs.State // final states; nil when the run errored
+}
+
+// String renders the counterexample for human consumption.
+func (c *Counterexample) String() string {
+	render := func(ok bool, out fs.State) string {
+		if !ok {
+			return "error"
+		}
+		return fs.StateString(out)
+	}
+	return fmt.Sprintf("input %s\n  first:  %s\n  second: %s",
+		fs.StateString(c.Input), render(c.Ok1, c.Out1), render(c.Ok2, c.Out2))
+}
+
+// Options configures equivalence queries.
+type Options struct {
+	// Budget bounds SAT conflicts; 0 means unlimited. Exhaustion returns
+	// ErrBudget.
+	Budget int64
+}
+
+// Equiv decides whether e1 ≡ e2: the same outcome (final state or error) on
+// every input filesystem over the bounded domain of figure 8. It is sound
+// and complete (lemmas 2 and 3). On inequivalence it returns a concrete
+// counterexample that has been replayed through the concrete evaluator.
+func Equiv(e1, e2 fs.Expr, opts Options) (bool, *Counterexample, error) {
+	dom := fs.Dom(e1)
+	dom.AddAll(fs.Dom(e2))
+	v := NewVocab(dom, e1, e2)
+	en := NewEncoder(v)
+	if opts.Budget > 0 {
+		en.S.SetBudget(opts.Budget)
+	}
+	input := en.FreshInputState("in")
+	out1 := en.Apply(e1, input)
+	out2 := en.Apply(e2, input)
+	en.S.Assert(en.StatesDiffer(out1, out2))
+	switch en.S.Check() {
+	case sat.Unsat:
+		return true, nil, nil
+	case sat.Unknown:
+		return false, nil, ErrBudget
+	}
+	cex := extractCounterexample(en, input, e1, e2)
+	return false, cex, nil
+}
+
+// extractCounterexample decodes the model into a concrete input and replays
+// both expressions on it with the concrete evaluator. The replay is a
+// soundness self-check: the decoded input must actually distinguish the
+// expressions.
+func extractCounterexample(en *Encoder, input *State, e1, e2 fs.Expr) *Counterexample {
+	in := en.ModelState(input)
+	out1, ok1 := fs.Eval(e1, in)
+	out2, ok2 := fs.Eval(e2, in)
+	if ok1 == ok2 && (!ok1 || out1.Equal(out2)) {
+		panic(fmt.Sprintf(
+			"sym: model does not distinguish expressions (encoding bug)\ninput: %s\ne1: %s\ne2: %s",
+			fs.StateString(in), fs.String(e1), fs.String(e2)))
+	}
+	return &Counterexample{Input: in, Ok1: ok1, Ok2: ok2, Out1: out1, Out2: out2}
+}
+
+// Idempotent decides whether e ≡ e; e (section 5). On failure the
+// counterexample's first outcome is one application, the second is two.
+func Idempotent(e fs.Expr, opts Options) (bool, *Counterexample, error) {
+	return Equiv(e, fs.Seq{E1: e, E2: e}, opts)
+}
