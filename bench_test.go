@@ -16,7 +16,9 @@ import (
 	"repro/internal/benchmarks"
 	"repro/internal/core"
 	"repro/internal/dynamic"
+	"repro/internal/experiments"
 	"repro/internal/pkgdb"
+	"repro/internal/qcache"
 )
 
 func loadOrFatal(b *testing.B, src string, opts core.Options) *core.System {
@@ -284,6 +286,51 @@ package {'golang-go': ensure => present }
 				if !res.Deterministic {
 					b.Fatal("overlapping closures must be deterministic")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSpeedup measures the parallel determinacy engine on
+// the semantic-commute-heavy workload (8 packages with overlapping
+// dependency closures, 28 pairwise solver queries) at 1/2/4/8 workers.
+// The Native series runs real in-process queries — its speedup is bounded
+// by the host's core count (flat on a single-core host). The ModeledZ3
+// series adds a modeled external-solver round trip per query (the
+// paper's Z3 ran behind IPC, like the dynamic baseline's modeled
+// container latency), demonstrating query overlap on any host. Each
+// iteration uses a cold private cache so runs are comparable; see
+// BENCH_parallel.json for a recorded trajectory point
+// (cmd/experiments -parallel-bench -parallel-out BENCH_parallel.json).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	manifest, provider := experiments.ParallelWorkload(experiments.ParallelWorkloadSize)
+	for _, series := range []struct {
+		name    string
+		latency time.Duration
+	}{{"Native", 0}, {"ModeledZ3", experiments.ModeledZ3Latency}} {
+		series := series
+		b.Run(series.name, func(b *testing.B) {
+			for _, workers := range []int{1, 2, 4, 8} {
+				workers := workers
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					opts := core.DefaultOptions()
+					opts.Provider = provider
+					opts.SemanticCommute = true
+					opts.Parallelism = workers
+					opts.PerQueryLatency = series.latency
+					opts.Timeout = 5 * time.Minute
+					for i := 0; i < b.N; i++ {
+						opts.SharedQueryCache = qcache.New() // cold cache per run
+						sys := loadOrFatal(b, manifest, opts)
+						res, err := sys.CheckDeterminism()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !res.Deterministic {
+							b.Fatal("parallel workload must be deterministic")
+						}
+					}
+				})
 			}
 		})
 	}

@@ -7,6 +7,8 @@
 //	experiments -fig 12    idempotence-check time on verified manifests
 //	experiments -fig 13    scalability with n mutually-conflicting packages
 //	experiments -bugs      bug-finding summary ("Bugs found" paragraph)
+//	experiments -parallel-bench [-parallel-out BENCH_parallel.json]
+//	                       parallel-engine speedup at 1/2/4/8 workers
 //	experiments            all of the above
 //
 // The -timeout flag stands in for the paper's 10-minute limit (default
@@ -28,6 +30,8 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 11a, 11b, 11c, 12, 13 (default: all)")
 	bugs := flag.Bool("bugs", false, "print the bug-finding summary only")
+	parallelBench := flag.Bool("parallel-bench", false, "run the parallel-engine speedup experiment only")
+	parallelOut := flag.String("parallel-out", "", "write the parallel speedup results as a JSON trajectory point (e.g. BENCH_parallel.json)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-check timeout (paper: 10 minutes)")
 	maxN := flag.Int("max-n", 6, "largest n for figure 13")
 	flag.Parse()
@@ -35,6 +39,8 @@ func main() {
 	switch {
 	case *bugs:
 		printBugs(*timeout)
+	case *parallelBench:
+		printParallel(*timeout, *parallelOut)
 	case *fig == "":
 		printFig11a(*timeout)
 		printFig11b(*timeout)
@@ -42,6 +48,7 @@ func main() {
 		printFig12(*timeout)
 		printFig13(*timeout, *maxN)
 		printBugs(*timeout)
+		printParallel(*timeout, *parallelOut)
 	case *fig == "11a":
 		printFig11a(*timeout)
 	case *fig == "11b":
@@ -151,6 +158,34 @@ func printFig13(timeout time.Duration, maxN int) {
 		fmt.Printf("%4d %12s %12d   (%s)\n", r.N, fmtTime(r.Time, false), r.Sequences, verdict)
 	}
 	fmt.Println()
+}
+
+func printParallel(timeout time.Duration, out string) {
+	// The modeled series sleeps 250ms per query; give the sequential run
+	// enough headroom regardless of the figure timeout.
+	if timeout < time.Minute {
+		timeout = time.Minute
+	}
+	rep, err := experiments.BuildParallelReport(timeout, []int{1, 2, 4, 8})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Parallel determinacy engine: speedup vs workers ==")
+	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
+	fmt.Printf("%8s %14s %14s %10s %10s\n", "workers", "native", "modeled-z3", "queries", "hits")
+	for i, r := range rep.Native {
+		m := rep.ModeledZ3[i]
+		fmt.Printf("%8d %14s %14s %10d %10d\n", r.Workers,
+			fmtTime(r.Time, r.TimedOut), fmtTime(m.Time, m.TimedOut), r.Queries, r.CacheHits)
+	}
+	fmt.Printf("speedup at 4 workers: native %.2fx, modeled-z3 %.2fx\n\n",
+		rep.NativeSpeedup4, rep.ModeledSpeedup4)
+	if out != "" {
+		if err := rep.Write(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
 }
 
 func printBugs(timeout time.Duration) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rehearsal [flags] manifest.pp
+//	rehearsal [flags] manifest.pp [manifest2.pp ...]
 //
 // Typical runs:
 //
@@ -12,15 +12,25 @@
 //	rehearsal -platform centos -timeout 2m site.pp
 //	rehearsal -invariant /etc/motd=welcome site.pp
 //	rehearsal -dot site.pp > graph.dot
+//	rehearsal -parallel 8 site1.pp site2.pp site3.pp
+//
+// With several manifests the checks run concurrently (bounded by
+// -parallel) and share the process-wide semantic-commutativity cache, so
+// fleets of manifests with overlapping resources never re-solve the same
+// query; each manifest's report is printed as one block, in argument
+// order.
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -30,6 +40,18 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:]))
+}
+
+// options bundles the per-manifest verification configuration.
+type options struct {
+	core      core.Options
+	pkgServer string
+	allPlats  bool
+	dot       bool
+	verbose   bool
+	skipIdem  bool
+	suggest   bool
+	invariant string
 }
 
 func run(args []string) int {
@@ -48,161 +70,217 @@ func run(args []string) int {
 	invariant := fl.String("invariant", "", "check a file invariant, formatted path=content")
 	dot := fl.Bool("dot", false, "print the resource graph in Graphviz format and exit")
 	suggest := fl.Bool("suggest", false, "on non-determinism, search for missing dependencies that repair the manifest")
+	parallel := fl.Int("parallel", 0, "worker count for solver queries and concurrent manifests (0 = number of CPUs)")
 	verbose := fl.Bool("v", false, "print analysis statistics")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
-	if fl.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rehearsal [flags] manifest.pp")
+	if fl.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: rehearsal [flags] manifest.pp [manifest2.pp ...]")
 		fl.PrintDefaults()
 		return 2
 	}
 
-	src, err := os.ReadFile(fl.Arg(0))
+	copts := core.DefaultOptions()
+	copts.Platform = *platform
+	copts.NodeName = *nodeName
+	copts.Timeout = *timeout
+	copts.Commutativity = !*noCommut
+	copts.Elimination = !*noElim
+	copts.Pruning = !*noPrune
+	copts.SemanticCommute = *semCommute
+	copts.WellFormedInit = *wellFormed
+	copts.Parallelism = *parallel
+	if *pkgServer != "" {
+		copts.Provider = pkgdb.NewClient(*pkgServer, nil)
+	}
+
+	opts := options{
+		core:      copts,
+		pkgServer: *pkgServer,
+		allPlats:  *allPlatforms,
+		dot:       *dot,
+		verbose:   *verbose,
+		skipIdem:  *skipIdem,
+		suggest:   *suggest,
+		invariant: *invariant,
+	}
+
+	paths := fl.Args()
+	if len(paths) == 1 {
+		return checkManifest(os.Stdout, os.Stderr, paths[0], opts)
+	}
+
+	// Several manifests: check them concurrently, each writing into its
+	// own buffer, and print the blocks in argument order.
+	workers := copts.Parallelism
+	if workers <= 0 {
+		workers = len(paths)
+	}
+	codes := make([]int, len(paths))
+	bufs := make([]bytes.Buffer, len(paths))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		i, path := i, path
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			codes[i] = checkManifest(&bufs[i], &bufs[i], path, opts)
+		}()
+	}
+	wg.Wait()
+	worst := 0
+	for i, path := range paths {
+		fmt.Printf("=== %s ===\n", path)
+		os.Stdout.Write(bufs[i].Bytes())
+		if codes[i] > worst {
+			worst = codes[i]
+		}
+	}
+	return worst
+}
+
+// checkManifest reads and verifies one manifest file, writing results to w
+// and errors to ew; it returns the process exit code for this manifest.
+func checkManifest(w, ew io.Writer, path string, opts options) int {
+	src, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+		fmt.Fprintf(ew, "rehearsal: %v\n", err)
 		return 2
 	}
-
-	opts := core.DefaultOptions()
-	opts.Platform = *platform
-	opts.NodeName = *nodeName
-	opts.Timeout = *timeout
-	opts.Commutativity = !*noCommut
-	opts.Elimination = !*noElim
-	opts.Pruning = !*noPrune
-	opts.SemanticCommute = *semCommute
-	opts.WellFormedInit = *wellFormed
-	if *pkgServer != "" {
-		opts.Provider = pkgdb.NewClient(*pkgServer, nil)
-	}
-
-	if *allPlatforms {
+	if opts.allPlats {
 		// The paper notes the analysis is platform-dependent and suggests
 		// re-verifying per platform (section 8).
 		worst := 0
 		for _, plat := range []string{"ubuntu", "centos"} {
 			perPlat := opts
-			perPlat.Platform = plat
-			perPlat.Provider = nil // reset any client bound to one catalog
-			if *pkgServer != "" {
-				perPlat.Provider = pkgdb.NewClient(*pkgServer, nil)
+			perPlat.core.Platform = plat
+			perPlat.core.Provider = nil // reset any client bound to one catalog
+			if opts.pkgServer != "" {
+				perPlat.core.Provider = pkgdb.NewClient(opts.pkgServer, nil)
 			}
-			fmt.Printf("=== platform %s ===\n", plat)
-			code := verifyOne(fl.Arg(0), string(src), perPlat, *dot, *verbose, *skipIdem, *suggest, *invariant)
+			fmt.Fprintf(w, "=== platform %s ===\n", plat)
+			code := verifyOne(w, ew, path, string(src), perPlat)
 			if code > worst {
 				worst = code
 			}
 		}
 		return worst
 	}
-	return verifyOne(fl.Arg(0), string(src), opts, *dot, *verbose, *skipIdem, *suggest, *invariant)
+	return verifyOne(w, ew, path, string(src), opts)
 }
 
 // verifyOne loads and verifies the manifest under one option set,
 // printing results; it returns the process exit code.
-func verifyOne(path, src string, opts core.Options, dot, verbose, skipIdem, suggest bool, invariant string) int {
-	sys, err := core.Load(src, opts)
+func verifyOne(w, ew io.Writer, path, src string, opts options) int {
+	sys, err := core.Load(src, opts.core)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+		fmt.Fprintf(ew, "rehearsal: %v\n", err)
 		return 1
 	}
-	if dot {
-		fmt.Print(sys.Dot())
+	if opts.dot {
+		fmt.Fprint(w, sys.Dot())
 		return 0
 	}
-	fmt.Printf("loaded %d resources from %s (platform %s)\n", sys.Size(), path, opts.Platform)
+	fmt.Fprintf(w, "loaded %d resources from %s (platform %s)\n", sys.Size(), path, opts.core.Platform)
 
 	res, err := sys.CheckDeterminism()
 	if errors.Is(err, core.ErrTimeout) {
-		fmt.Println("determinism: TIMEOUT")
+		fmt.Fprintln(w, "determinism: TIMEOUT")
 		return 3
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+		fmt.Fprintf(ew, "rehearsal: %v\n", err)
 		return 1
 	}
-	if verbose {
-		fmt.Printf("  resources=%d eliminated=%d pruned-paths=%d paths=%d/%d sequences=%d time=%v\n",
+	if opts.verbose {
+		fmt.Fprintf(w, "  resources=%d eliminated=%d pruned-paths=%d paths=%d/%d sequences=%d workers=%d time=%v\n",
 			res.Stats.Resources, res.Stats.Eliminated, res.Stats.PrunedPaths,
-			res.Stats.Paths, res.Stats.TotalPaths, res.Stats.Sequences, res.Stats.Duration.Round(time.Millisecond))
+			res.Stats.Paths, res.Stats.TotalPaths, res.Stats.Sequences,
+			res.Stats.Workers, res.Stats.Duration.Round(time.Millisecond))
+		if res.Stats.SemQueries+res.Stats.SemCacheHits > 0 {
+			fmt.Fprintf(w, "  solver-queries=%d cache-hits=%d hit-rate=%.0f%%\n",
+				res.Stats.SemQueries, res.Stats.SemCacheHits, 100*res.Stats.SemCacheHitRate())
+		}
 	}
 	if !res.Deterministic {
-		fmt.Println("determinism: FAIL — the manifest is non-deterministic")
-		printCounterexample(res.Counterexample)
-		if suggest {
+		fmt.Fprintln(w, "determinism: FAIL — the manifest is non-deterministic")
+		printCounterexample(w, res.Counterexample)
+		if opts.suggest {
 			repair, err := sys.SuggestRepair()
 			switch {
 			case err != nil:
-				fmt.Printf("  no repair found: %v\n", err)
+				fmt.Fprintf(w, "  no repair found: %v\n", err)
 			case repair != nil:
-				fmt.Println("  suggested dependencies:")
+				fmt.Fprintln(w, "  suggested dependencies:")
 				for _, e := range repair.Edges {
-					fmt.Printf("    %s\n", e)
+					fmt.Fprintf(w, "    %s\n", e)
 				}
 			}
 		}
 		return 1
 	}
-	fmt.Println("determinism: OK")
+	fmt.Fprintln(w, "determinism: OK")
 
 	exitCode := 0
-	if !skipIdem {
+	if !opts.skipIdem {
 		idem, err := sys.CheckIdempotence()
 		if errors.Is(err, core.ErrTimeout) {
-			fmt.Println("idempotence: TIMEOUT")
+			fmt.Fprintln(w, "idempotence: TIMEOUT")
 			return 3
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+			fmt.Fprintf(ew, "rehearsal: %v\n", err)
 			return 1
 		}
 		if idem.Idempotent {
-			fmt.Println("idempotence: OK")
+			fmt.Fprintln(w, "idempotence: OK")
 		} else {
-			fmt.Println("idempotence: FAIL — applying the manifest twice differs from once")
-			fmt.Printf("  %s\n", strings.ReplaceAll(idem.Counterexample.String(), "\n", "\n  "))
+			fmt.Fprintln(w, "idempotence: FAIL — applying the manifest twice differs from once")
+			fmt.Fprintf(w, "  %s\n", strings.ReplaceAll(idem.Counterexample.String(), "\n", "\n  "))
 			exitCode = 1
 		}
 	}
 
-	if invariant != "" {
-		path, content, ok := strings.Cut(invariant, "=")
+	if opts.invariant != "" {
+		path, content, ok := strings.Cut(opts.invariant, "=")
 		if !ok {
-			fmt.Fprintln(os.Stderr, "rehearsal: -invariant must be path=content")
+			fmt.Fprintln(ew, "rehearsal: -invariant must be path=content")
 			return 2
 		}
 		inv, err := sys.CheckFileInvariant(fs.ParsePath(path), content)
 		if errors.Is(err, core.ErrTimeout) {
-			fmt.Println("invariant: TIMEOUT")
+			fmt.Fprintln(w, "invariant: TIMEOUT")
 			return 3
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+			fmt.Fprintf(ew, "rehearsal: %v\n", err)
 			return 1
 		}
 		if inv.Holds {
-			fmt.Printf("invariant %s: OK\n", invariant)
+			fmt.Fprintf(w, "invariant %s: OK\n", opts.invariant)
 		} else {
-			fmt.Printf("invariant %s: FAIL\n", invariant)
-			fmt.Printf("  violated from initial state %s\n", fs.StateString(inv.Input))
+			fmt.Fprintf(w, "invariant %s: FAIL\n", opts.invariant)
+			fmt.Fprintf(w, "  violated from initial state %s\n", fs.StateString(inv.Input))
 			exitCode = 1
 		}
 	}
 	return exitCode
 }
 
-func printCounterexample(cex *core.Counterexample) {
+func printCounterexample(w io.Writer, cex *core.Counterexample) {
 	if cex == nil {
 		return
 	}
-	fmt.Printf("  initial state: %s\n", fs.StateString(cex.Input))
-	fmt.Printf("  order A: %s\n", strings.Join(cex.Order1, ", "))
-	fmt.Printf("    outcome: %s\n", outcome(cex.Ok1, cex.Out1))
-	fmt.Printf("  order B: %s\n", strings.Join(cex.Order2, ", "))
-	fmt.Printf("    outcome: %s\n", outcome(cex.Ok2, cex.Out2))
+	fmt.Fprintf(w, "  initial state: %s\n", fs.StateString(cex.Input))
+	fmt.Fprintf(w, "  order A: %s\n", strings.Join(cex.Order1, ", "))
+	fmt.Fprintf(w, "    outcome: %s\n", outcome(cex.Ok1, cex.Out1))
+	fmt.Fprintf(w, "  order B: %s\n", strings.Join(cex.Order2, ", "))
+	fmt.Fprintf(w, "    outcome: %s\n", outcome(cex.Ok2, cex.Out2))
 	if cex.Ok1 && cex.Ok2 {
-		fmt.Printf("  differing paths: %s\n", strings.Join(diffPaths(cex.Out1, cex.Out2), ", "))
+		fmt.Fprintf(w, "  differing paths: %s\n", strings.Join(diffPaths(cex.Out1, cex.Out2), ", "))
 	}
 }
 

@@ -242,3 +242,51 @@ File['/dst'] -> File['/src']
 		t.Errorf("fig 3d output:\n%s", out)
 	}
 }
+
+func TestMultipleManifests(t *testing.T) {
+	ok := writeManifest(t, okManifest)
+	buggy := filepath.Join(t.TempDir(), "buggy.pp")
+	if err := os.WriteFile(buggy, []byte(buggyManifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := runCapture(t, "-parallel", "4", ok, buggy)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (worst verdict wins):\n%s", code, out)
+	}
+	// Per-manifest blocks appear under headers, in argument order.
+	okHdr := strings.Index(out, "=== "+ok+" ===")
+	buggyHdr := strings.Index(out, "=== "+buggy+" ===")
+	if okHdr < 0 || buggyHdr < 0 {
+		t.Fatalf("missing per-manifest headers:\n%s", out)
+	}
+	if okHdr > buggyHdr {
+		t.Errorf("manifests reported out of argument order:\n%s", out)
+	}
+	if !strings.Contains(out[okHdr:buggyHdr], "determinism: OK") {
+		t.Errorf("first manifest block wrong:\n%s", out)
+	}
+	if !strings.Contains(out[buggyHdr:], "determinism: FAIL") {
+		t.Errorf("second manifest block wrong:\n%s", out)
+	}
+}
+
+func TestMultipleManifestsMissingFile(t *testing.T) {
+	ok := writeManifest(t, okManifest)
+	code, out := runCapture(t, ok, "/nonexistent/other.pp")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 for unreadable manifest:\n%s", code, out)
+	}
+	if !strings.Contains(out, "=== "+ok+" ===") {
+		t.Errorf("readable manifest should still be checked:\n%s", out)
+	}
+}
+
+func TestParallelFlagVerbose(t *testing.T) {
+	code, out := runCapture(t, "-v", "-parallel", "3", writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out)
+	}
+	if !strings.Contains(out, "workers=3") {
+		t.Errorf("missing workers stat:\n%s", out)
+	}
+}

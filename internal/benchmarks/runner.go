@@ -1,0 +1,72 @@
+package benchmarks
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Result is the outcome of checking one benchmark manifest.
+type Result struct {
+	Name          string
+	Deterministic bool
+	Expected      bool // the manually-verified verdict
+	TimedOut      bool
+	Err           error
+	Stats         core.Stats
+	Elapsed       time.Duration
+}
+
+// Run checks every benchmark of the suite (All()) under opts, fanning the
+// manifests across up to workers goroutines; workers <= 1 runs
+// sequentially, workers <= 0 means one per benchmark. Results come back in
+// suite order regardless of completion order. Each check is independent —
+// its own System, encoder and solver — and all share the process-wide
+// semantic-commutativity cache, so overlapping resources across manifests
+// are solved once.
+func Run(opts core.Options, workers int) []Result {
+	suite := All()
+	results := make([]Result, len(suite))
+	if workers <= 0 || workers > len(suite) {
+		workers = len(suite)
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, b := range suite {
+		i, b := i, b
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			results[i] = runOne(b, opts)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+func runOne(b Benchmark, opts core.Options) Result {
+	r := Result{Name: b.Name, Expected: b.Deterministic}
+	start := time.Now()
+	sys, err := core.Load(b.Source, opts)
+	if err != nil {
+		r.Err = err
+		r.Elapsed = time.Since(start)
+		return r
+	}
+	res, err := sys.CheckDeterminism()
+	r.Elapsed = time.Since(start)
+	switch {
+	case errors.Is(err, core.ErrTimeout):
+		r.TimedOut = true
+	case err != nil:
+		r.Err = err
+	default:
+		r.Deterministic = res.Deterministic
+		r.Stats = res.Stats
+	}
+	return r
+}

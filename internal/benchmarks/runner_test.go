@@ -1,0 +1,42 @@
+package benchmarks
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qcache"
+)
+
+// The parallel runner must return every benchmark's verdict, in suite
+// order, matching the manually-verified expectations — at any worker
+// count.
+func TestRunParallelMatchesSuite(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.Timeout = 2 * time.Minute
+	opts.SharedQueryCache = qcache.New()
+
+	for _, workers := range []int{1, 4} {
+		results := Run(opts, workers)
+		suite := All()
+		if len(results) != len(suite) {
+			t.Fatalf("workers=%d: %d results for %d benchmarks", workers, len(results), len(suite))
+		}
+		for i, r := range results {
+			if r.Name != suite[i].Name {
+				t.Errorf("workers=%d: result %d is %q, want %q (order lost)", workers, i, r.Name, suite[i].Name)
+			}
+			if r.Err != nil {
+				t.Errorf("workers=%d: %s: %v", workers, r.Name, r.Err)
+				continue
+			}
+			if r.TimedOut {
+				t.Errorf("workers=%d: %s timed out", workers, r.Name)
+				continue
+			}
+			if r.Deterministic != r.Expected {
+				t.Errorf("workers=%d: %s: deterministic=%v, want %v", workers, r.Name, r.Deterministic, r.Expected)
+			}
+		}
+	}
+}

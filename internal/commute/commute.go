@@ -57,7 +57,10 @@ func lub(a, b Effect) Effect {
 	return Write // R ⊔ D = W, and anything with W is W
 }
 
-// Summary is the abstract effect of an expression.
+// Summary is the abstract effect of an expression. A Summary is immutable
+// after Analyze returns, so any number of goroutines may query it
+// concurrently — the parallel determinacy engine's pool workers call
+// Commute on shared summaries without synchronization.
 type Summary struct {
 	paths map[fs.Path]Effect
 	// childObs holds directories whose set of children the expression

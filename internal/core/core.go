@@ -7,6 +7,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/pkgdb"
 	"repro/internal/puppet"
+	"repro/internal/qcache"
 	"repro/internal/resources"
 )
 
@@ -74,6 +76,26 @@ type Options struct {
 	// MaxSequences caps the number of linearizations the checker encodes
 	// before giving up with ErrTimeout; 0 means the default of 20000.
 	MaxSequences int
+	// Parallelism bounds the worker pool that fans independent semantic-
+	// commutativity queries (each an isolated encoder+solver) across
+	// cores; 0 means runtime.GOMAXPROCS(0). Verdicts are identical at any
+	// setting: queries are deterministic and the authoritative analysis
+	// order stays sequential (see DESIGN.md, "Parallel determinacy
+	// engine").
+	Parallelism int
+	// SharedQueryCache selects the process-wide content-addressed cache
+	// (internal/qcache) for semantic-commutativity verdicts, so checks of
+	// manifests with overlapping resources never re-solve the same pair.
+	// Nil means qcache.Shared(); benchmarks inject a private cache to
+	// measure cold-cache behavior.
+	SharedQueryCache *qcache.Cache
+	// PerQueryLatency models the round-trip cost of an external solver
+	// process on every semantic-commutativity query, mirroring the
+	// paper's setup (Z3 behind IPC) the same way internal/dynamic models
+	// per-resource container latency. Benchmarks use it to measure how
+	// well the worker pool overlaps query latency on hosts with few
+	// cores; 0 (production) runs queries at native in-process speed.
+	PerQueryLatency time.Duration
 }
 
 // DefaultOptions enables every analysis, matching the configuration the
@@ -96,6 +118,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSequences == 0 {
 		o.MaxSequences = 20000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.SharedQueryCache == nil {
+		o.SharedQueryCache = qcache.Shared()
 	}
 	return o
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/commute"
@@ -31,6 +32,28 @@ type Stats struct {
 	Paths       int           // modeled paths after analyses (fig. 11a "Yes")
 	Sequences   int           // linearizations encoded after POR
 	Duration    time.Duration // wall-clock time of the check
+
+	// Workers is the worker-pool size semantic-commutativity queries ran
+	// under (Options.Parallelism after defaulting).
+	Workers int
+	// SemQueries counts the solver queries this check executed — the
+	// shared-cache misses among its semantic-commutativity decisions.
+	SemQueries int
+	// SemCacheHits counts decisions served by the process-wide
+	// content-addressed cache (warmed by earlier checks of manifests with
+	// overlapping resources).
+	SemCacheHits int
+}
+
+// SemCacheHitRate returns the fraction of semantic-commutativity
+// decisions answered without running the solver; 0 when no semantic
+// decisions were made.
+func (s Stats) SemCacheHitRate() float64 {
+	total := s.SemQueries + s.SemCacheHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SemCacheHits) / float64(total)
 }
 
 // DeterminismResult is the outcome of CheckDeterminism.
@@ -46,6 +69,17 @@ type workNode struct {
 	expr fs.Expr
 	orig fs.Expr
 	sum  *commute.Summary
+
+	digOnce sync.Once
+	dig     fs.Digest
+}
+
+// digest returns the canonical content hash of the node's current model,
+// computed once per workNode (pruning replaces the workNode, so the memo
+// never goes stale). Safe for concurrent use by pool workers.
+func (w *workNode) digest() fs.Digest {
+	w.digOnce.Do(func() { w.dig = fs.DigestExpr(w.expr) })
+	return w.dig
 }
 
 // CheckDeterminism decides whether the manifest's resource graph is
@@ -77,9 +111,8 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 		}
 	}
 
-	stats := Stats{Resources: wg.Len(), TotalPaths: s.TotalPaths()}
-
-	commuteFn := makeCommuteFn(opts, deadline)
+	cc := newCommuteChecker(opts)
+	stats := Stats{Resources: wg.Len(), TotalPaths: s.TotalPaths(), Workers: cc.workers}
 
 	// Step 1 (section 4.4): eliminate resources that commute with every
 	// resource that may run after them. Removal order matters for replay:
@@ -87,7 +120,7 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	// placed last in any linearization.
 	var eliminated []*workNode
 	if opts.Elimination {
-		eliminated = eliminate(wg, commuteFn)
+		eliminated = eliminate(wg, cc)
 		stats.Eliminated = len(eliminated)
 	}
 
@@ -118,11 +151,13 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 		en.S.Assert(en.WellFormed(input))
 	}
 
-	outs, orders, err := enumerate(wg, en, input, opts, deadline, commuteFn)
+	outs, orders, err := enumerate(wg, en, input, opts, deadline, cc)
 	if err != nil {
 		return nil, err
 	}
 	stats.Sequences = len(outs)
+	stats.SemQueries = int(cc.queries.Load())
+	stats.SemCacheHits = int(cc.hits.Load())
 
 	if len(outs) <= 1 {
 		// A single linearization after POR is deterministic by
@@ -251,51 +286,42 @@ func minimizeInput(e1, e2 fs.Expr, in fs.State, keepWellFormed bool) fs.State {
 	return min
 }
 
-// commuteFunc decides whether two resource models commute.
-type commuteFunc func(a, b *workNode) bool
-
-// makeCommuteFn builds the commutativity decision: the fast syntactic
-// check of figure 9b, optionally strengthened by a cached solver-based
-// equivalence check of the two orders (Options.SemanticCommute).
-func makeCommuteFn(opts Options, deadline time.Time) commuteFunc {
-	type pairKey [2]string
-	cache := make(map[pairKey]bool)
-	return func(a, b *workNode) bool {
-		if commute.Commute(a.sum, b.sum) {
-			return true
-		}
-		if !opts.SemanticCommute {
-			return false
-		}
-		key := pairKey{a.name, b.name}
-		if a.name > b.name {
-			key = pairKey{b.name, a.name}
-		}
-		if v, ok := cache[key]; ok {
-			return v
-		}
-		symOpts := sym.Options{}
-		if !deadline.IsZero() {
-			// A bounded slice of the budget per pair; inconclusive means
-			// non-commuting, which is always sound.
-			symOpts.Budget = 200000
-		}
-		eq, _, err := sym.Equiv(
-			fs.Seq{E1: a.expr, E2: b.expr},
-			fs.Seq{E1: b.expr, E2: a.expr},
-			symOpts)
-		result := err == nil && eq
-		cache[key] = result
-		return result
-	}
-}
-
 // eliminate repeatedly removes fringe resources (no dependents) that
 // commute with every incomparable resource, returning them in removal
-// order.
-func eliminate(wg *graph.Graph[*workNode], commutes commuteFunc) []*workNode {
+// order. Each round first batches the candidate pairs it is about to ask
+// and fans the semantic-commutativity queries across the worker pool;
+// the removal pass itself stays sequential and identical to the
+// single-threaded analysis, so the removal order — which replay depends
+// on — is the same at any parallelism.
+func eliminate(wg *graph.Graph[*workNode], cc *commuteChecker) []*workNode {
 	var removed []*workNode
 	for {
+		// Batch this round's candidate queries: every fringe node against
+		// every incomparable node, as of the round-start graph. The
+		// sequential pass below may skip some (early break on the first
+		// conflict) or add some (nodes that become fringe mid-round);
+		// prefetching a near-exact superset is only a cache warm-up and
+		// cannot change any verdict.
+		if cc.semantic && cc.workers > 1 {
+			var pairs []pair
+			for _, v := range wg.Nodes() {
+				if wg.OutDegree(v) != 0 {
+					continue
+				}
+				anc := wg.Ancestors(v)
+				for _, u := range wg.Nodes() {
+					if u == v {
+						continue
+					}
+					if _, isAnc := anc[u]; isAnc {
+						continue
+					}
+					pairs = append(pairs, pair{wg.Label(v), wg.Label(u)})
+				}
+			}
+			cc.prefetch(pairs)
+		}
+
 		changed := false
 		for _, v := range wg.Nodes() {
 			if wg.OutDegree(v) != 0 {
@@ -310,7 +336,7 @@ func eliminate(wg *graph.Graph[*workNode], commutes commuteFunc) []*workNode {
 				if _, isAnc := anc[u]; isAnc {
 					continue
 				}
-				if !commutes(wg.Label(v), wg.Label(u)) {
+				if !cc.commutes(wg.Label(v), wg.Label(u)) {
 					ok = false
 					break
 				}
@@ -390,28 +416,32 @@ func pruneGraph(wg *graph.Graph[*workNode]) int {
 // resource's model symbolically (ΦG of figures 7 and 9a). It returns the
 // symbolic output state and resource order of every explored
 // linearization.
-func enumerate(wg *graph.Graph[*workNode], en *sym.Encoder, input *sym.State, opts Options, deadline time.Time, commutes commuteFunc) ([]*sym.State, [][]graph.Node, error) {
+func enumerate(wg *graph.Graph[*workNode], en *sym.Encoder, input *sym.State, opts Options, deadline time.Time, cc *commuteChecker) ([]*sym.State, [][]graph.Node, error) {
 	nodes := wg.Nodes()
 	idx := make(map[graph.Node]int, len(nodes))
 	for i, n := range nodes {
 		idx[n] = i
 	}
-	// Pairwise commutativity matrix and descendant sets.
+	// Pairwise commutativity matrix and descendant sets. Every upper-
+	// triangle entry is needed, so the pairs fan across the worker pool
+	// directly (no early exits to preserve).
 	canCommute := make([][]bool, len(nodes))
-	for i, u := range nodes {
+	for i := range nodes {
 		canCommute[i] = make([]bool, len(nodes))
-		for j, v := range nodes {
-			if i == j {
-				continue
-			}
-			if j < i {
-				canCommute[i][j] = canCommute[j][i]
-				continue
-			}
-			if opts.Commutativity {
-				canCommute[i][j] = commutes(wg.Label(u), wg.Label(v))
+	}
+	if opts.Commutativity {
+		var pairs [][2]int
+		for i := range nodes {
+			for j := i + 1; j < len(nodes); j++ {
+				pairs = append(pairs, [2]int{i, j})
 			}
 		}
+		runParallel(cc.workers, len(pairs), func(k int) {
+			i, j := pairs[k][0], pairs[k][1]
+			v := cc.commutes(wg.Label(nodes[i]), wg.Label(nodes[j]))
+			canCommute[i][j] = v
+			canCommute[j][i] = v
+		})
 	}
 	desc := make([]map[graph.Node]struct{}, len(nodes))
 	for i, n := range nodes {

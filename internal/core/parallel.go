@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/commute"
+	"repro/internal/qcache"
+	"repro/internal/sym"
+)
+
+// DefaultCommuteBudget bounds SAT conflicts per semantic-commutativity
+// query. Every query runs under this bound — with or without a deadline —
+// so one pathological pair can never hang elimination; an inconclusive
+// query counts as non-commuting, which is always sound (it only forces
+// the exact analysis to do more work).
+const DefaultCommuteBudget = 200_000
+
+// runParallel executes task(0..n-1) on up to workers goroutines and waits
+// for all of them. workers <= 1 runs inline, keeping single-threaded runs
+// free of goroutine overhead.
+func runParallel(workers, n int, task func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// commuteChecker decides whether two resource models commute: the fast
+// syntactic check of figure 9b, optionally strengthened by a solver-based
+// equivalence check of the two orders (Options.SemanticCommute). It is
+// safe for concurrent use: the syntactic summaries are immutable, each
+// solver query constructs an isolated encoder+solver, and verdicts are
+// memoized in the process-wide content-addressed cache under singleflight
+// deduplication. A per-check local memo keeps the per-check hit/query
+// statistics honest (prefetched pairs are not double-counted when the
+// sequential analysis re-reads them) and avoids shared-cache lock traffic
+// on the hot path.
+type commuteChecker struct {
+	semantic bool
+	budget   int64
+	workers  int
+	latency  time.Duration
+	cache    *qcache.Cache
+
+	local   sync.Map     // qcache.Key -> bool, this check's decisions
+	queries atomic.Int64 // solver queries this check executed
+	hits    atomic.Int64 // decisions served by the shared cache
+}
+
+func newCommuteChecker(opts Options) *commuteChecker {
+	cache := opts.SharedQueryCache
+	if cache == nil {
+		cache = qcache.Shared()
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+	return &commuteChecker{
+		semantic: opts.SemanticCommute,
+		budget:   DefaultCommuteBudget,
+		workers:  workers,
+		latency:  opts.PerQueryLatency,
+		cache:    cache,
+	}
+}
+
+// commutes reports whether a and b commute (a;b ≡ b;a).
+func (c *commuteChecker) commutes(a, b *workNode) bool {
+	if commute.Commute(a.sum, b.sum) {
+		return true
+	}
+	if !c.semantic {
+		return false
+	}
+	key := qcache.PairKey(a.digest(), b.digest(), c.budget)
+	if v, ok := c.local.Load(key); ok {
+		return v.(bool)
+	}
+	v, hit := c.cache.Do(key, func() bool {
+		c.queries.Add(1)
+		if c.latency > 0 {
+			time.Sleep(c.latency) // modeled external-solver round trip
+		}
+		eq, _, err := sym.Commutes(a.expr, b.expr, sym.Options{Budget: c.budget})
+		return err == nil && eq
+	})
+	if hit {
+		c.hits.Add(1)
+	}
+	c.local.Store(key, v)
+	return v
+}
+
+// pair is one candidate commutativity query.
+type pair struct{ a, b *workNode }
+
+// prefetch warms the checker's memo for the given pairs by fanning the
+// semantic queries across the worker pool. Pairs the syntactic check
+// already proves commuting are skipped without a worker, and symmetric
+// duplicates collapse to one query via the content-addressed key.
+// Prefetching is a pure cache warm-up: the authoritative sequential
+// analysis re-asks each pair and reads the identical memoized verdict, so
+// results do not depend on worker count or scheduling.
+func (c *commuteChecker) prefetch(pairs []pair) {
+	if !c.semantic || len(pairs) == 0 {
+		return
+	}
+	seen := make(map[qcache.Key]struct{}, len(pairs))
+	todo := pairs[:0]
+	for _, p := range pairs {
+		if commute.Commute(p.a.sum, p.b.sum) {
+			continue
+		}
+		key := qcache.PairKey(p.a.digest(), p.b.digest(), c.budget)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		todo = append(todo, p)
+	}
+	runParallel(c.workers, len(todo), func(i int) {
+		c.commutes(todo[i].a, todo[i].b)
+	})
+}

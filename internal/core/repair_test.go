@@ -3,9 +3,6 @@ package core
 import (
 	"strings"
 	"testing"
-	"time"
-
-	"repro/internal/benchmarks"
 )
 
 func TestRepairFig3a(t *testing.T) {
@@ -72,34 +69,4 @@ func TestRepairFig3cVerifies(t *testing.T) {
 func toChainSyntax(edge string) string {
 	out := strings.ReplaceAll(edge, "[", "['")
 	return strings.ReplaceAll(out, "]", "']")
-}
-
-// Every non-deterministic benchmark must be repairable, and the suggested
-// edges must match the bug class (a package→file or user→key ordering).
-func TestRepairBenchmarkSuite(t *testing.T) {
-	opts := DefaultOptions()
-	opts.Timeout = time.Minute
-	for _, b := range benchmarks.All() {
-		if b.Deterministic {
-			continue
-		}
-		b := b
-		t.Run(b.Name, func(t *testing.T) {
-			s, err := Load(b.Source, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			repair, err := s.SuggestRepair()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if repair == nil {
-				t.Fatal("no repair suggested")
-			}
-			t.Logf("suggested: %s", strings.Join(repair.Edges, "; "))
-			if !repair.Result.Deterministic {
-				t.Error("repair does not verify")
-			}
-		})
-	}
 }

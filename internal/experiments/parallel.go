@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/pkgdb"
+	"repro/internal/qcache"
+)
+
+// ParallelRow is one configuration of the parallel-speedup experiment:
+// the semantic-commute-heavy workload checked with a given worker count.
+type ParallelRow struct {
+	Workers   int           `json:"workers"`
+	Time      time.Duration `json:"-"`
+	Seconds   float64       `json:"seconds"`
+	Queries   int           `json:"queries"`    // solver queries run
+	CacheHits int           `json:"cache_hits"` // served by the shared cache
+	TimedOut  bool          `json:"timed_out"`
+}
+
+// ParallelWorkloadSize is the number of mutually-overlapping packages in
+// the speedup workload; every pair needs one solver query, so the check
+// issues n(n-1)/2 independent semantic-commutativity queries.
+const ParallelWorkloadSize = 8
+
+// ParallelWorkload builds the semantic-commute-heavy manifest the speedup
+// experiment checks: n packages that all depend on a shared library
+// package. Syntactically every pair conflicts (both write the shared
+// closure's files), so without the semantic check the exploration is
+// factorial; semantically every pair commutes (both guard the shared
+// files with the same installed-marker check), so the whole check reduces
+// to n(n-1)/2 embarrassingly-parallel solver queries plus elimination.
+func ParallelWorkload(n int) (string, pkgdb.Provider) {
+	catalog := pkgdb.NewCatalog()
+	lib := &pkgdb.Package{Name: "libcommon", Version: "1.0"}
+	for i := 0; i < 16; i++ {
+		lib.Files = append(lib.Files, fmt.Sprintf("/usr/lib/libcommon/lib%03d", i))
+	}
+	catalog.Add("ubuntu", lib)
+	manifest := ""
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("svc-%d", i)
+		p := &pkgdb.Package{Name: name, Version: "1.0", Depends: []string{"libcommon"}}
+		for j := 0; j < 8; j++ {
+			p.Files = append(p.Files, fmt.Sprintf("/usr/lib/%s/lib%03d", name, j))
+		}
+		catalog.Add("ubuntu", p)
+		manifest += fmt.Sprintf("package {'%s': ensure => present }\n", name)
+	}
+	return manifest, catalog
+}
+
+// ParallelSpeedup measures the determinacy check on the parallel workload
+// at each worker count. Every run uses a private, cold query cache so the
+// configurations are comparable; verdicts are identical at any worker
+// count (the analysis order is sequential and the queries deterministic),
+// so the rows measure pure solver-fan-out speedup.
+//
+// latency models an external solver round trip per query (see
+// core.Options.PerQueryLatency); 0 measures native in-process queries,
+// whose fan-out speedup is bounded by the host's core count.
+func ParallelSpeedup(timeout time.Duration, workers []int, latency time.Duration) ([]ParallelRow, error) {
+	manifest, provider := ParallelWorkload(ParallelWorkloadSize)
+	rows := make([]ParallelRow, 0, len(workers))
+	for _, w := range workers {
+		opts := options(timeout)
+		opts.Provider = provider
+		opts.SemanticCommute = true
+		opts.Parallelism = w
+		opts.SharedQueryCache = qcache.New()
+		opts.PerQueryLatency = latency
+		res, elapsed, timedOut, err := check(manifest, opts)
+		if err != nil {
+			return nil, fmt.Errorf("parallel workload at %d workers: %w", w, err)
+		}
+		row := ParallelRow{Workers: w, Time: elapsed, Seconds: elapsed.Seconds(), TimedOut: timedOut}
+		if res != nil {
+			if !res.Deterministic {
+				return nil, fmt.Errorf("parallel workload must be deterministic")
+			}
+			row.Queries = res.Stats.SemQueries
+			row.CacheHits = res.Stats.SemCacheHits
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ParallelReport is the BENCH_parallel.json trajectory point: both series
+// of the speedup experiment plus enough host context to interpret them.
+// The Native series fans real in-process solver queries, so its speedup
+// is bounded by HostCPUs; the ModeledZ3 series adds a modeled external-
+// solver round trip per query (the paper's Z3 ran behind IPC), so it
+// demonstrates the engine's query overlap even on single-core hosts.
+type ParallelReport struct {
+	Benchmark        string        `json:"benchmark"`
+	Workload         string        `json:"workload"`
+	HostCPUs         int           `json:"host_cpus"`
+	ModeledLatencyMS int64         `json:"modeled_latency_ms"`
+	Native           []ParallelRow `json:"native"`
+	ModeledZ3        []ParallelRow `json:"modeled_z3"`
+	NativeSpeedup4   float64       `json:"native_speedup_at_4"`
+	ModeledSpeedup4  float64       `json:"modeled_speedup_at_4"`
+}
+
+// ModeledZ3Latency is the modeled external-solver round trip used by the
+// ModeledZ3 series, sized like a fast local Z3 process call.
+const ModeledZ3Latency = 250 * time.Millisecond
+
+// BuildParallelReport runs both series of the speedup experiment.
+func BuildParallelReport(timeout time.Duration, workers []int) (*ParallelReport, error) {
+	native, err := ParallelSpeedup(timeout, workers, 0)
+	if err != nil {
+		return nil, err
+	}
+	modeled, err := ParallelSpeedup(timeout, workers, ModeledZ3Latency)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ParallelReport{
+		Benchmark: "BenchmarkParallelSpeedup",
+		Workload: fmt.Sprintf("%d packages with overlapping dependency closures: %d pairwise semantic-commutativity queries",
+			ParallelWorkloadSize, ParallelWorkloadSize*(ParallelWorkloadSize-1)/2),
+		HostCPUs:         runtime.NumCPU(),
+		ModeledLatencyMS: ModeledZ3Latency.Milliseconds(),
+		Native:           native,
+		ModeledZ3:        modeled,
+		NativeSpeedup4:   speedupAt(native, 4),
+		ModeledSpeedup4:  speedupAt(modeled, 4),
+	}
+	return rep, nil
+}
+
+// WriteParallelReport writes the report as indented JSON to path.
+func (r *ParallelReport) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func speedupAt(rows []ParallelRow, workers int) float64 {
+	var base, at float64
+	for _, r := range rows {
+		if r.Workers == 1 {
+			base = r.Seconds
+		}
+		if r.Workers == workers {
+			at = r.Seconds
+		}
+	}
+	if base == 0 || at == 0 {
+		return 0
+	}
+	return base / at
+}

@@ -1,0 +1,122 @@
+package fs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// Digest is a canonical content hash of an expression: two expressions
+// have equal digests iff they are structurally equal. It is the key
+// material for the process-wide query cache (internal/qcache), which
+// memoizes solver verdicts across manifests that share resource models.
+type Digest [sha256.Size]byte
+
+// DigestExpr computes the canonical digest of e. The encoding is an
+// unambiguous preorder walk: every node contributes a type tag, and every
+// string (path or content) is length-prefixed, so no two distinct ASTs
+// serialize identically.
+func DigestExpr(e Expr) Digest {
+	h := sha256.New()
+	writeExprHash(h, e)
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// Node tags for the canonical encoding. Expressions and predicates share
+// one tag space; values are fixed forever (digests are cache keys).
+const (
+	tagId byte = iota + 1
+	tagErr
+	tagMkdir
+	tagCreat
+	tagRm
+	tagCp
+	tagSeq
+	tagIf
+	tagTrue
+	tagFalse
+	tagNot
+	tagAnd
+	tagOr
+	tagIsFile
+	tagIsDir
+	tagIsEmptyDir
+	tagIsNone
+)
+
+func writeString(h hash.Hash, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}
+
+func writeExprHash(h hash.Hash, e Expr) {
+	switch e := e.(type) {
+	case Id:
+		h.Write([]byte{tagId})
+	case Err:
+		h.Write([]byte{tagErr})
+	case Mkdir:
+		h.Write([]byte{tagMkdir})
+		writeString(h, string(e.Path))
+	case Creat:
+		h.Write([]byte{tagCreat})
+		writeString(h, string(e.Path))
+		writeString(h, e.Content)
+	case Rm:
+		h.Write([]byte{tagRm})
+		writeString(h, string(e.Path))
+	case Cp:
+		h.Write([]byte{tagCp})
+		writeString(h, string(e.Src))
+		writeString(h, string(e.Dst))
+	case Seq:
+		h.Write([]byte{tagSeq})
+		writeExprHash(h, e.E1)
+		writeExprHash(h, e.E2)
+	case If:
+		h.Write([]byte{tagIf})
+		writePredHash(h, e.A)
+		writeExprHash(h, e.Then)
+		writeExprHash(h, e.Else)
+	default:
+		panic("fs: unknown expression in DigestExpr")
+	}
+}
+
+func writePredHash(h hash.Hash, a Pred) {
+	switch a := a.(type) {
+	case True:
+		h.Write([]byte{tagTrue})
+	case False:
+		h.Write([]byte{tagFalse})
+	case Not:
+		h.Write([]byte{tagNot})
+		writePredHash(h, a.P)
+	case And:
+		h.Write([]byte{tagAnd})
+		writePredHash(h, a.L)
+		writePredHash(h, a.R)
+	case Or:
+		h.Write([]byte{tagOr})
+		writePredHash(h, a.L)
+		writePredHash(h, a.R)
+	case IsFile:
+		h.Write([]byte{tagIsFile})
+		writeString(h, string(a.Path))
+	case IsDir:
+		h.Write([]byte{tagIsDir})
+		writeString(h, string(a.Path))
+	case IsEmptyDir:
+		h.Write([]byte{tagIsEmptyDir})
+		writeString(h, string(a.Path))
+	case IsNone:
+		h.Write([]byte{tagIsNone})
+		writeString(h, string(a.Path))
+	default:
+		panic("fs: unknown predicate in DigestExpr")
+	}
+}

@@ -1,0 +1,60 @@
+package fs
+
+import "testing"
+
+func TestDigestExprDeterministic(t *testing.T) {
+	e := Seq{
+		E1: If{A: IsDir{ParsePath("/usr")}, Then: Id{}, Else: Mkdir{ParsePath("/usr")}},
+		E2: Creat{Path: ParsePath("/usr/f"), Content: "hello"},
+	}
+	if DigestExpr(e) != DigestExpr(e) {
+		t.Error("digest of the same expression differs between calls")
+	}
+	// Structurally equal but separately constructed values must collide.
+	e2 := Seq{
+		E1: If{A: IsDir{ParsePath("/usr")}, Then: Id{}, Else: Mkdir{ParsePath("/usr")}},
+		E2: Creat{Path: ParsePath("/usr/f"), Content: "hello"},
+	}
+	if DigestExpr(e) != DigestExpr(e2) {
+		t.Error("structurally equal expressions digest differently")
+	}
+}
+
+// Expressions that render similarly but differ structurally must not
+// collide: the encoding is unambiguous (type tags + length-prefixed
+// strings), not a pretty-print.
+func TestDigestExprUnambiguous(t *testing.T) {
+	distinct := []Expr{
+		Id{},
+		Err{},
+		Mkdir{ParsePath("/a")},
+		Mkdir{ParsePath("/b")},
+		Rm{ParsePath("/a")},
+		Creat{Path: ParsePath("/a"), Content: ""},
+		Creat{Path: ParsePath("/a"), Content: "x"},
+		Cp{Src: ParsePath("/a"), Dst: ParsePath("/b")},
+		Cp{Src: ParsePath("/b"), Dst: ParsePath("/a")},
+		Seq{E1: Mkdir{ParsePath("/a")}, E2: Id{}},
+		Seq{E1: Id{}, E2: Mkdir{ParsePath("/a")}},
+		// String-boundary attack: ("/ab", "c") vs ("/a", "bc") — the
+		// length prefix must keep these apart.
+		Creat{Path: ParsePath("/ab"), Content: "c"},
+		Creat{Path: ParsePath("/a"), Content: "bc"},
+		If{A: True{}, Then: Id{}, Else: Err{}},
+		If{A: False{}, Then: Id{}, Else: Err{}},
+		If{A: True{}, Then: Err{}, Else: Id{}},
+		If{A: Not{True{}}, Then: Id{}, Else: Err{}},
+		If{A: And{IsFile{ParsePath("/a")}, IsNone{ParsePath("/b")}}, Then: Id{}, Else: Err{}},
+		If{A: Or{IsFile{ParsePath("/a")}, IsNone{ParsePath("/b")}}, Then: Id{}, Else: Err{}},
+		If{A: IsDir{ParsePath("/a")}, Then: Id{}, Else: Err{}},
+		If{A: IsEmptyDir{ParsePath("/a")}, Then: Id{}, Else: Err{}},
+	}
+	seen := make(map[Digest]int)
+	for i, e := range distinct {
+		d := DigestExpr(e)
+		if j, dup := seen[d]; dup {
+			t.Errorf("expressions %d and %d collide", j, i)
+		}
+		seen[d] = i
+	}
+}

@@ -8,12 +8,16 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+
+	"repro/internal/qcache"
 )
 
 // Client is a Provider backed by a package-listing service (see Handler).
 // Results are cached for the lifetime of the client, mirroring the paper's
 // server-side cache: the underlying package tools take seconds per query,
-// so reported analysis times exclude them.
+// so reported analysis times exclude them. Concurrent cache misses for the
+// same key are coalesced into a single fetch, so parallel manifest checks
+// that resolve overlapping packages do not stampede the listing service.
 type Client struct {
 	base string
 	http *http.Client
@@ -21,6 +25,9 @@ type Client struct {
 	mu    sync.Mutex
 	pkgs  map[string]*Package   // platform/name → listing
 	lists map[string][]*Package // kind/platform/name → closure or revdeps
+
+	pkgFlight  qcache.Group[string, *Package]
+	listFlight qcache.Group[string, []*Package]
 }
 
 // NewClient creates a client for the service at base (e.g.
@@ -67,14 +74,17 @@ func (c *Client) Lookup(platform, name string) (*Package, error) {
 		return p, nil
 	}
 	c.mu.Unlock()
-	var p Package
-	if err := c.get("/v1/"+url.PathEscape(platform)+"/package/"+url.PathEscape(name), &p); err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.pkgs[key] = &p
-	c.mu.Unlock()
-	return &p, nil
+	p, err, _ := c.pkgFlight.Do(key, func() (*Package, error) {
+		var p Package
+		if err := c.get("/v1/"+url.PathEscape(platform)+"/package/"+url.PathEscape(name), &p); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.pkgs[key] = &p
+		c.mu.Unlock()
+		return &p, nil
+	})
+	return p, err
 }
 
 func (c *Client) list(kind, platform, name string) ([]*Package, error) {
@@ -85,14 +95,17 @@ func (c *Client) list(kind, platform, name string) ([]*Package, error) {
 		return ps, nil
 	}
 	c.mu.Unlock()
-	var ps []*Package
-	if err := c.get("/v1/"+url.PathEscape(platform)+"/"+kind+"/"+url.PathEscape(name), &ps); err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	c.lists[key] = ps
-	c.mu.Unlock()
-	return ps, nil
+	ps, err, _ := c.listFlight.Do(key, func() ([]*Package, error) {
+		var ps []*Package
+		if err := c.get("/v1/"+url.PathEscape(platform)+"/"+kind+"/"+url.PathEscape(name), &ps); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.lists[key] = ps
+		c.mu.Unlock()
+		return ps, nil
+	})
+	return ps, err
 }
 
 // Closure implements Provider.

@@ -2,9 +2,13 @@ package pkgdb
 
 import (
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/fs"
 )
@@ -245,5 +249,55 @@ func TestCatalogDependenciesResolve(t *testing.T) {
 				t.Errorf("%s/%s: %v", plat, n, err)
 			}
 		}
+	}
+}
+
+// Concurrent cache misses for the same package must coalesce into a
+// single fetch (stampede prevention); designed to run under -race.
+func TestClientCoalescesConcurrentLookups(t *testing.T) {
+	var fetches atomic.Int64
+	inner := Handler(DefaultCatalog())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		time.Sleep(10 * time.Millisecond) // widen the in-flight window
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, nil)
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := c.Lookup("ubuntu", "ntp")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if p == nil || p.Name != "ntp" {
+				t.Errorf("lookup = %+v", p)
+			}
+			if _, err := c.Closure("ubuntu", "ntp"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Ideally one /package fetch plus one /closure fetch; a caller that
+	// misses the cache just as the in-flight call completes can legally
+	// refetch, so allow a little slack — without coalescing this would be
+	// 2*callers fetches.
+	if n := fetches.Load(); n > 4 {
+		t.Errorf("%d upstream fetches for %d concurrent callers, want <= 4", n, callers)
+	}
+	// Subsequent calls are pure cache hits.
+	before := fetches.Load()
+	if _, err := c.Lookup("ubuntu", "ntp"); err != nil {
+		t.Fatal(err)
+	}
+	if fetches.Load() != before {
+		t.Error("cached lookup hit the server")
 	}
 }

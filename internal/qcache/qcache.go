@@ -1,0 +1,142 @@
+// Package qcache is a process-wide, content-addressed cache of solver
+// query verdicts. The determinacy analysis (internal/core) performs O(n²)
+// pairwise semantic-commutativity queries, each a full symbolic
+// equivalence check; fleets of manifests share resource models (the same
+// package appears in many manifests), so keying the memo table on a
+// canonical hash of the two expressions — rather than on resource names
+// within one check — lets every check in the process reuse earlier
+// verdicts. The cache is concurrency-safe and singleflight-deduplicated:
+// when several workers ask the same query at once, exactly one runs the
+// solver and the rest wait for its answer.
+package qcache
+
+import (
+	"sync"
+
+	"repro/internal/fs"
+)
+
+// Key identifies one equivalence query: the canonical digests of the two
+// expressions (order-normalized, since e1;e2 ≡ e2;e1 is symmetric in the
+// pair) plus the solver budget the query runs under. Including the budget
+// keeps verdicts comparable: a pair that is inconclusive under a small
+// budget must not shadow a conclusive verdict computed under a larger one.
+type Key struct {
+	lo, hi fs.Digest
+	budget int64
+}
+
+// PairKey builds the order-normalized key for a commutativity query on
+// the expressions behind the two digests.
+func PairKey(a, b fs.Digest, budget int64) Key {
+	for i := range a {
+		if a[i] < b[i] {
+			return Key{lo: a, hi: b, budget: budget}
+		}
+		if a[i] > b[i] {
+			return Key{lo: b, hi: a, budget: budget}
+		}
+	}
+	return Key{lo: a, hi: b, budget: budget}
+}
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      int64 // calls answered from the completed-verdict table
+	Misses    int64 // calls that ran the compute function
+	Coalesced int64 // calls that waited on another caller's in-flight query
+}
+
+// call tracks one in-flight computation.
+type call struct {
+	done chan struct{}
+	val  bool
+}
+
+// Cache memoizes boolean query verdicts under singleflight deduplication.
+// The zero value is not ready; use New.
+type Cache struct {
+	mu       sync.Mutex
+	done     map[Key]bool
+	inflight map[Key]*call
+	stats    Stats
+}
+
+// New creates an empty cache.
+func New() *Cache {
+	return &Cache{
+		done:     make(map[Key]bool),
+		inflight: make(map[Key]*call),
+	}
+}
+
+var shared = New()
+
+// Shared returns the process-wide cache used by every determinacy check
+// in this process.
+func Shared() *Cache { return shared }
+
+// Do returns the cached verdict for key, computing it with compute on a
+// miss. Concurrent calls for the same key run compute exactly once; the
+// others block until the leader finishes. hit reports whether the verdict
+// was served without running compute in this call (either from the
+// completed table or by waiting on an in-flight leader).
+func (c *Cache) Do(key Key, compute func() bool) (val, hit bool) {
+	c.mu.Lock()
+	if v, ok := c.done[key]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return v, true
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, true
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	cl.val = compute()
+
+	c.mu.Lock()
+	c.done[key] = cl.val
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(cl.done)
+	return cl.val, false
+}
+
+// Lookup returns the cached verdict without computing.
+func (c *Cache) Lookup(key Key) (val, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.done[key]
+	return v, ok
+}
+
+// Len returns the number of completed verdicts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// StatsSnapshot returns the current counters.
+func (c *Cache) StatsSnapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset clears verdicts and counters. In-flight computations complete and
+// publish into the fresh table. Benchmarks use this to measure cold-cache
+// behavior; production code never needs it.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done = make(map[Key]bool)
+	c.stats = Stats{}
+}

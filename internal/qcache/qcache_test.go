@@ -1,0 +1,184 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fs"
+)
+
+func digests(n int) []fs.Digest {
+	out := make([]fs.Digest, n)
+	for i := range out {
+		out[i] = fs.DigestExpr(fs.Creat{Path: fs.ParsePath(fmt.Sprintf("/f%d", i)), Content: "x"})
+	}
+	return out
+}
+
+func TestPairKeySymmetric(t *testing.T) {
+	d := digests(2)
+	if PairKey(d[0], d[1], 7) != PairKey(d[1], d[0], 7) {
+		t.Error("pair key must be order-insensitive")
+	}
+	if PairKey(d[0], d[1], 7) == PairKey(d[0], d[1], 8) {
+		t.Error("pair key must separate budgets")
+	}
+	if PairKey(d[0], d[0], 7) != PairKey(d[0], d[0], 7) {
+		t.Error("self pair must be stable")
+	}
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	c := New()
+	d := digests(2)
+	key := PairKey(d[0], d[1], 1)
+	calls := 0
+	compute := func() bool { calls++; return true }
+	if v, hit := c.Do(key, compute); !v || hit {
+		t.Errorf("first call: v=%v hit=%v", v, hit)
+	}
+	if v, hit := c.Do(key, compute); !v || !hit {
+		t.Errorf("second call: v=%v hit=%v", v, hit)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times", calls)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+	st := c.StatsSnapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if v, ok := c.Lookup(key); !ok || !v {
+		t.Errorf("lookup = %v %v", v, ok)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+// Concurrent callers of the same key must coalesce into one computation;
+// designed to run under -race.
+func TestCacheSingleflight(t *testing.T) {
+	c := New()
+	d := digests(2)
+	key := PairKey(d[0], d[1], 1)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const callers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			v, _ := c.Do(key, func() bool {
+				computes.Add(1)
+				return true
+			})
+			if !v {
+				t.Error("wrong value")
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Errorf("compute ran %d times, want 1", computes.Load())
+	}
+	st := c.StatsSnapshot()
+	if st.Misses != 1 || st.Hits+st.Coalesced != callers-1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Distinct keys must not block each other; hammer the cache from many
+// goroutines over a small key space under -race.
+func TestCacheStress(t *testing.T) {
+	c := New()
+	ds := digests(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a, b := ds[(g+i)%len(ds)], ds[(g*i)%len(ds)]
+				// The computed verdict is a function of the unordered pair,
+				// so every caller — first or cached — must see the same
+				// value regardless of argument order or interleaving.
+				want := (int(a[0])+int(b[0]))%2 == 0
+				got, _ := c.Do(PairKey(a, b, 1), func() bool { return want })
+				if got != want {
+					t.Errorf("inconsistent verdict for pair")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestGroupCoalesces(t *testing.T) {
+	var g Group[string, int]
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	const callers = 16
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (int, error) {
+				if computes.Add(1) == 1 {
+					close(entered)
+				}
+				<-release
+				return 42, nil
+			})
+			if v != 42 || err != nil {
+				t.Errorf("v=%d err=%v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	<-entered
+	// Give the remaining callers time to queue behind the in-flight call
+	// before releasing it. Stragglers that only reach Do afterwards become
+	// fresh leaders (the key is forgotten on completion), so the hard
+	// invariant is conservation, not an exact count.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if computes.Load()+sharedCount.Load() != callers {
+		t.Errorf("computes (%d) + shared (%d) != callers (%d)",
+			computes.Load(), sharedCount.Load(), callers)
+	}
+	if sharedCount.Load() == 0 {
+		t.Error("no caller coalesced onto the in-flight call")
+	}
+}
+
+func TestGroupPropagatesError(t *testing.T) {
+	var g Group[int, string]
+	want := errors.New("boom")
+	_, err, _ := g.Do(1, func() (string, error) { return "", want })
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v", err)
+	}
+	// The key is forgotten after completion: a retry runs fn again.
+	v, err, _ := g.Do(1, func() (string, error) { return "ok", nil })
+	if v != "ok" || err != nil {
+		t.Errorf("retry: v=%q err=%v", v, err)
+	}
+}

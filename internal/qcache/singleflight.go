@@ -1,0 +1,48 @@
+package qcache
+
+import "sync"
+
+// Group coalesces concurrent calls with the same key into a single
+// execution of the underlying function — the classic singleflight
+// pattern, here generic and dependency-free. Unlike Cache, a Group does
+// not memoize: once the in-flight call completes and every waiter has its
+// result, the key is forgotten. Callers that want memoization layer their
+// own table above it (see pkgdb.Client).
+//
+// The zero value is ready to use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do executes fn once per key among concurrent callers. shared reports
+// whether this caller received another caller's result instead of running
+// fn itself.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (val V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

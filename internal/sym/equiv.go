@@ -43,6 +43,11 @@ type Options struct {
 // every input filesystem over the bounded domain of figure 8. It is sound
 // and complete (lemmas 2 and 3). On inequivalence it returns a concrete
 // counterexample that has been replayed through the concrete evaluator.
+//
+// Equiv is safe for concurrent use: every call constructs an isolated
+// vocabulary, encoder and solver and touches no shared state, so
+// independent queries parallelize embarrassingly — the parallel
+// determinacy engine (internal/core) fans them across a worker pool.
 func Equiv(e1, e2 fs.Expr, opts Options) (bool, *Counterexample, error) {
 	dom := fs.Dom(e1)
 	dom.AddAll(fs.Dom(e2))
@@ -85,4 +90,13 @@ func extractCounterexample(en *Encoder, input *State, e1, e2 fs.Expr) *Counterex
 // counterexample's first outcome is one application, the second is two.
 func Idempotent(e fs.Expr, opts Options) (bool, *Counterexample, error) {
 	return Equiv(e, fs.Seq{E1: e, E2: e}, opts)
+}
+
+// Commutes decides whether e1; e2 ≡ e2; e1 — the solver-backed semantic
+// commutativity query of lemma 4 that the determinacy engine issues for
+// every pair the syntactic analysis cannot prove. Inconclusive (budget
+// exhaustion) surfaces as an error; treating it as non-commuting is
+// always sound.
+func Commutes(e1, e2 fs.Expr, opts Options) (bool, *Counterexample, error) {
+	return Equiv(fs.Seq{E1: e1, E2: e2}, fs.Seq{E1: e2, E2: e1}, opts)
 }
