@@ -336,6 +336,78 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalSpeedup measures the incremental SMT backend on the
+// semantic-commute-heavy workload at 4 workers, fresh solvers vs the
+// pooled incremental path with a cold and a warm pool. The Native series
+// runs real in-process queries (pooling trades a wider shared vocabulary
+// for amortized compilation — roughly break-even in-process); the
+// ModeledZ3 series adds the modeled external-solver costs the backend
+// targets: solver construction per query on the fresh path vs per pool
+// miss on the pooled path. Each iteration uses a cold private cache, and
+// the pool registry is reset (or pre-warmed) per mode so runs are
+// comparable; see BENCH_incremental.json for a recorded trajectory point
+// (cmd/experiments -incremental-bench -incremental-out
+// BENCH_incremental.json).
+func BenchmarkIncrementalSpeedup(b *testing.B) {
+	manifest, provider := experiments.ParallelWorkload(experiments.ParallelWorkloadSize)
+	for _, series := range []struct {
+		name           string
+		query, startup time.Duration
+	}{
+		{"Native", 0, 0},
+		{"ModeledZ3", experiments.ModeledIncrementalLatency, experiments.ModeledSolverStartup},
+	} {
+		series := series
+		b.Run(series.name, func(b *testing.B) {
+			for _, mode := range []struct {
+				name  string
+				fresh bool
+				warm  bool
+			}{{"fresh", true, false}, {"pooled-cold", false, false}, {"pooled-warm", false, true}} {
+				mode := mode
+				b.Run(mode.name, func(b *testing.B) {
+					opts := core.DefaultOptions()
+					opts.Provider = provider
+					opts.SemanticCommute = true
+					opts.Parallelism = experiments.IncrementalWorkers
+					opts.FreshSolvers = mode.fresh
+					opts.PerQueryLatency = series.query
+					opts.PerSolverLatency = series.startup
+					opts.Timeout = 5 * time.Minute
+					run := func() *core.DeterminismResult {
+						opts.SharedQueryCache = qcache.New() // cold cache per run
+						sys := loadOrFatal(b, manifest, opts)
+						res, err := sys.CheckDeterminism()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !res.Deterministic {
+							b.Fatal("incremental workload must be deterministic")
+						}
+						return res
+					}
+					core.ResetSolverPools()
+					if mode.warm {
+						run() // prime the pool outside the timer
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if !mode.warm && !mode.fresh {
+							b.StopTimer()
+							core.ResetSolverPools() // cold pool per iteration
+							b.StartTimer()
+						}
+						res := run()
+						if !mode.fresh && res.Stats.SolverReuses == 0 {
+							b.Fatal("pooled run reported no solver reuse")
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkDynamicBaseline measures the dynamic enumeration baseline of
 // section 4.5 on a small benchmark, for comparison with the static check
 // (the paper reports hours of container time; the simulated baseline

@@ -9,6 +9,8 @@
 //	experiments -bugs      bug-finding summary ("Bugs found" paragraph)
 //	experiments -parallel-bench [-parallel-out BENCH_parallel.json]
 //	                       parallel-engine speedup at 1/2/4/8 workers
+//	experiments -incremental-bench [-incremental-out BENCH_incremental.json]
+//	                       incremental-backend speedup: fresh vs pooled solvers
 //	experiments            all of the above
 //
 // The -timeout flag stands in for the paper's 10-minute limit (default
@@ -32,6 +34,8 @@ func main() {
 	bugs := flag.Bool("bugs", false, "print the bug-finding summary only")
 	parallelBench := flag.Bool("parallel-bench", false, "run the parallel-engine speedup experiment only")
 	parallelOut := flag.String("parallel-out", "", "write the parallel speedup results as a JSON trajectory point (e.g. BENCH_parallel.json)")
+	incrementalBench := flag.Bool("incremental-bench", false, "run the incremental-backend speedup experiment only")
+	incrementalOut := flag.String("incremental-out", "", "write the incremental speedup results as a JSON trajectory point (e.g. BENCH_incremental.json)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-check timeout (paper: 10 minutes)")
 	maxN := flag.Int("max-n", 6, "largest n for figure 13")
 	flag.Parse()
@@ -41,6 +45,8 @@ func main() {
 		printBugs(*timeout)
 	case *parallelBench:
 		printParallel(*timeout, *parallelOut)
+	case *incrementalBench:
+		printIncremental(*timeout, *incrementalOut)
 	case *fig == "":
 		printFig11a(*timeout)
 		printFig11b(*timeout)
@@ -49,6 +55,7 @@ func main() {
 		printFig13(*timeout, *maxN)
 		printBugs(*timeout)
 		printParallel(*timeout, *parallelOut)
+		printIncremental(*timeout, *incrementalOut)
 	case *fig == "11a":
 		printFig11a(*timeout)
 	case *fig == "11b":
@@ -180,6 +187,36 @@ func printParallel(timeout time.Duration, out string) {
 	}
 	fmt.Printf("speedup at 4 workers: native %.2fx, modeled-z3 %.2fx\n\n",
 		rep.NativeSpeedup4, rep.ModeledSpeedup4)
+	if out != "" {
+		if err := rep.Write(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+func printIncremental(timeout time.Duration, out string) {
+	// The modeled fresh series sleeps 300ms per query; give the runs
+	// headroom regardless of the figure timeout.
+	if timeout < time.Minute {
+		timeout = time.Minute
+	}
+	rep, err := experiments.BuildIncrementalReport(timeout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Incremental SMT backend: fresh vs pooled solvers ==")
+	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
+	fmt.Printf("%-12s %14s %14s %10s %8s %8s %8s\n",
+		"mode", "native", "modeled-z3", "queries", "reuses", "learnt", "presimp")
+	for i, r := range rep.Native {
+		m := rep.ModeledZ3[i]
+		fmt.Printf("%-12s %14s %14s %10d %8d %8d %8d\n", r.Mode,
+			fmtTime(r.Time, r.TimedOut), fmtTime(m.Time, m.TimedOut),
+			r.Queries, r.SolverReuses, r.LearntRetained, r.PreprocessRemoved)
+	}
+	fmt.Printf("warm-pool speedup over fresh: native %.2fx, modeled-z3 %.2fx (cold %.2fx)\n\n",
+		rep.NativeWarmSpeedup, rep.ModeledWarmSpeedup, rep.ModeledColdSpeedup)
 	if out != "" {
 		if err := rep.Write(out); err != nil {
 			fatal(err)

@@ -49,6 +49,7 @@ type options struct {
 	allPlats  bool
 	dot       bool
 	verbose   bool
+	stats     bool
 	skipIdem  bool
 	suggest   bool
 	invariant string
@@ -72,6 +73,7 @@ func run(args []string) int {
 	suggest := fl.Bool("suggest", false, "on non-determinism, search for missing dependencies that repair the manifest")
 	parallel := fl.Int("parallel", 0, "worker count for solver queries and concurrent manifests (0 = number of CPUs)")
 	verbose := fl.Bool("v", false, "print analysis statistics")
+	stats := fl.Bool("stats", false, "print incremental solver-backend statistics (solver reuses, learnt clauses retained, clauses removed by preprocessing)")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -101,6 +103,7 @@ func run(args []string) int {
 		allPlats:  *allPlatforms,
 		dot:       *dot,
 		verbose:   *verbose,
+		stats:     *stats,
 		skipIdem:  *skipIdem,
 		suggest:   *suggest,
 		invariant: *invariant,
@@ -204,6 +207,11 @@ func verifyOne(w, ew io.Writer, path, src string, opts options) int {
 			fmt.Fprintf(w, "  solver-queries=%d cache-hits=%d hit-rate=%.0f%%\n",
 				res.Stats.SemQueries, res.Stats.SemCacheHits, 100*res.Stats.SemCacheHitRate())
 		}
+	}
+	if opts.stats {
+		fmt.Fprintf(w, "  solver-queries=%d solver-reuses=%d learnt-retained=%d preprocess-removed=%d\n",
+			res.Stats.SemQueries, res.Stats.SolverReuses,
+			res.Stats.LearntRetained, res.Stats.PreprocessRemoved)
 	}
 	if !res.Deterministic {
 		fmt.Fprintln(w, "determinism: FAIL — the manifest is non-deterministic")

@@ -96,7 +96,10 @@ func (s *System) CheckFileInvariant(path fs.Path, content string) (*InvariantRes
 	case sat.Unknown:
 		return nil, ErrTimeout
 	}
-	in := en.ModelState(input)
+	in, err := en.ModelState(input)
+	if err != nil {
+		return nil, err
+	}
 	// Replay as a sanity check: the manifest must succeed from in and
 	// leave the path in a different state.
 	outState, ok := fs.Eval(e, in)

@@ -96,6 +96,19 @@ type Options struct {
 	// well the worker pool overlaps query latency on hosts with few
 	// cores; 0 (production) runs queries at native in-process speed.
 	PerQueryLatency time.Duration
+	// FreshSolvers disables the incremental solver pool and builds an
+	// isolated vocabulary, encoder and solver for every semantic-
+	// commutativity query. Verdicts are identical either way (the
+	// differential tests enforce it); the fresh path exists as the
+	// baseline for those tests and for the incremental benchmark.
+	FreshSolvers bool
+	// PerSolverLatency models the construction cost of an external solver
+	// process (spawning Z3, loading the theory). The fresh-solver path
+	// pays it on every query; the pooled path only when a pool miss
+	// constructs a new solver. Benchmarks use the pair
+	// (PerQueryLatency, PerSolverLatency) to project in-process speedups
+	// onto the paper's external-solver setup; 0 (production) adds nothing.
+	PerSolverLatency time.Duration
 }
 
 // DefaultOptions enables every analysis, matching the configuration the

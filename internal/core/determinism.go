@@ -43,6 +43,18 @@ type Stats struct {
 	// content-addressed cache (warmed by earlier checks of manifests with
 	// overlapping resources).
 	SemCacheHits int
+	// SolverReuses counts solver queries answered by a pooled incremental
+	// solver that had already served earlier queries (0 with
+	// Options.FreshSolvers or without SemanticCommute).
+	SolverReuses int
+	// LearntRetained is the number of learnt clauses alive across the
+	// check's solver pool when the check finished — knowledge later
+	// queries inherit instead of rediscovering.
+	LearntRetained int
+	// PreprocessRemoved counts clauses deleted by the pooled solvers'
+	// root-level preprocessing passes (satisfied-clause removal and
+	// subsumption), cumulative over the pool.
+	PreprocessRemoved int64
 }
 
 // SemCacheHitRate returns the fraction of semantic-commutativity
@@ -114,6 +126,23 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	cc := newCommuteChecker(opts)
 	stats := Stats{Resources: wg.Len(), TotalPaths: s.TotalPaths(), Workers: cc.workers}
 
+	// Incremental solving: route this check's semantic queries through a
+	// pooled solver per worker, sharing one vocabulary built from the full
+	// pre-analysis expression set. Elimination and pruning only ever
+	// shrink expressions and their domains, so this vocabulary spans every
+	// later query; a query over a superset domain decides the same
+	// equivalence (bounded-domain lemma), keeping verdicts identical to
+	// the fresh-solver path.
+	if opts.SemanticCommute && !opts.FreshSolvers {
+		poolDom := make(fs.PathSet)
+		poolExprs := make([]fs.Expr, 0, wg.Len())
+		for _, n := range wg.Nodes() {
+			poolExprs = append(poolExprs, wg.Label(n).expr)
+			poolDom.AddAll(fs.Dom(wg.Label(n).expr))
+		}
+		cc.usePool(sym.NewVocab(poolDom, poolExprs...))
+	}
+
 	// Step 1 (section 4.4): eliminate resources that commute with every
 	// resource that may run after them. Removal order matters for replay:
 	// the first-removed resource commutes with everything else and can be
@@ -158,6 +187,10 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	stats.Sequences = len(outs)
 	stats.SemQueries = int(cc.queries.Load())
 	stats.SemCacheHits = int(cc.hits.Load())
+	stats.SolverReuses = int(cc.reuses.Load())
+	if cc.pool != nil {
+		stats.LearntRetained, stats.PreprocessRemoved = cc.pool.snapshot()
+	}
 
 	if len(outs) <= 1 {
 		// A single linearization after POR is deterministic by
@@ -186,10 +219,17 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	}
 
 	// A model: decode the input and identify a distinguishing pair.
-	in := en.ModelState(input)
+	in, err := en.ModelState(input)
+	if err != nil {
+		return nil, err
+	}
 	second := 1
 	for i := 1; i < len(outs); i++ {
-		if en.S.BoolValue(diffTerms[i]) {
+		differs, err := en.S.BoolValue(diffTerms[i])
+		if err != nil {
+			return nil, err
+		}
+		if differs {
 			second = i
 			break
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/commute"
+	"repro/internal/fs"
 	"repro/internal/qcache"
 	"repro/internal/sym"
 )
@@ -62,15 +63,18 @@ func runParallel(workers, n int, task func(i int)) {
 // sequential analysis re-reads them) and avoids shared-cache lock traffic
 // on the hot path.
 type commuteChecker struct {
-	semantic bool
-	budget   int64
-	workers  int
-	latency  time.Duration
-	cache    *qcache.Cache
+	semantic      bool
+	budget        int64
+	workers       int
+	latency       time.Duration
+	solverLatency time.Duration
+	cache         *qcache.Cache
+	pool          *sessionPool // nil: build an isolated solver per query
 
 	local   sync.Map     // qcache.Key -> bool, this check's decisions
 	queries atomic.Int64 // solver queries this check executed
 	hits    atomic.Int64 // decisions served by the shared cache
+	reuses  atomic.Int64 // queries answered by a reused pooled solver
 }
 
 func newCommuteChecker(opts Options) *commuteChecker {
@@ -83,12 +87,47 @@ func newCommuteChecker(opts Options) *commuteChecker {
 		workers = 1
 	}
 	return &commuteChecker{
-		semantic: opts.SemanticCommute,
-		budget:   DefaultCommuteBudget,
-		workers:  workers,
-		latency:  opts.PerQueryLatency,
-		cache:    cache,
+		semantic:      opts.SemanticCommute,
+		budget:        DefaultCommuteBudget,
+		workers:       workers,
+		latency:       opts.PerQueryLatency,
+		solverLatency: opts.PerSolverLatency,
+		cache:         cache,
 	}
+}
+
+// usePool routes this check's solver queries through the incremental
+// session pool for the vocabulary. The vocabulary must span every
+// expression the check can query (checkDeterminism builds it from the full
+// pre-analysis expression set; elimination and pruning only shrink
+// expressions, and a query over a superset domain decides the same
+// equivalence — see internal/sym's session documentation).
+func (c *commuteChecker) usePool(v *sym.Vocab) {
+	c.pool = poolFor(v)
+}
+
+// solve runs one semantic equivalence query, through the pool when one is
+// attached. The modeled solver-construction latency (PerSolverLatency) is
+// paid per query on the fresh path but only on pool misses when pooling.
+func (c *commuteChecker) solve(e1, e2 fs.Expr) (bool, error) {
+	if c.pool != nil {
+		sess, created := c.pool.acquire()
+		defer c.pool.release(sess)
+		if created {
+			if c.solverLatency > 0 {
+				time.Sleep(c.solverLatency) // modeled solver startup
+			}
+		} else {
+			c.reuses.Add(1)
+		}
+		eq, _, err := sess.Commutes(e1, e2, sym.Options{Budget: c.budget})
+		return eq, err
+	}
+	if c.solverLatency > 0 {
+		time.Sleep(c.solverLatency) // modeled per-query solver construction
+	}
+	eq, _, err := sym.Commutes(e1, e2, sym.Options{Budget: c.budget})
+	return eq, err
 }
 
 // commutes reports whether a and b commute (a;b ≡ b;a).
@@ -108,7 +147,7 @@ func (c *commuteChecker) commutes(a, b *workNode) bool {
 		if c.latency > 0 {
 			time.Sleep(c.latency) // modeled external-solver round trip
 		}
-		eq, _, err := sym.Commutes(a.expr, b.expr, sym.Options{Budget: c.budget})
+		eq, err := c.solve(a.expr, b.expr)
 		return err == nil && eq
 	})
 	if hit {

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/fs"
+	"repro/internal/sym"
+)
+
+// sessionPool hands out incremental solver sessions (sym.Session) over one
+// fixed vocabulary. A session held by a worker answers queries with learnt
+// clauses, compiled terms and the shared symbolic input state retained from
+// every query it answered before; releasing parks it for the next worker.
+// The pool never blocks: when all parked sessions are in use, acquire
+// constructs a fresh one, so at most Options.Parallelism sessions exist per
+// check.
+type sessionPool struct {
+	vocab *sym.Vocab
+	mu    sync.Mutex
+	free  []*sym.Session
+}
+
+// acquire returns a session and whether it had to be constructed (false
+// means an existing solver was reused).
+func (p *sessionPool) acquire() (*sym.Session, bool) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return s, false
+	}
+	p.mu.Unlock()
+	return sym.NewSession(p.vocab), true
+}
+
+func (p *sessionPool) release(s *sym.Session) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// snapshot sums solver gauges over the parked sessions: live learnt clauses
+// and clauses removed by root-level preprocessing.
+func (p *sessionPool) snapshot() (learnt int, preprocessed int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.free {
+		st := s.Stats()
+		learnt += st.LearntRetained
+		preprocessed += st.Simplify.Removed + st.Simplify.Subsumed
+	}
+	return learnt, preprocessed
+}
+
+// The process-wide pool registry, keyed by vocabulary digest: re-checking a
+// manifest (or its exact-configuration fallback, which shares the unpruned
+// expression set) reuses warm solvers across checks, the same way qcache
+// reuses verdicts. Bounded so a long multi-manifest run cannot accumulate
+// solvers without limit; eviction is least-recently-used.
+var (
+	poolsMu   sync.Mutex
+	pools     = make(map[fs.Digest]*sessionPool)
+	poolOrder []fs.Digest // LRU order, oldest first
+)
+
+// maxPools bounds the number of distinct vocabularies with live pools.
+const maxPools = 32
+
+// poolFor returns the pool for the vocabulary, creating (and registering)
+// it if needed.
+func poolFor(v *sym.Vocab) *sessionPool {
+	d := v.Digest()
+	poolsMu.Lock()
+	defer poolsMu.Unlock()
+	if p, ok := pools[d]; ok {
+		for i, od := range poolOrder {
+			if od == d {
+				poolOrder = append(append(poolOrder[:i:i], poolOrder[i+1:]...), d)
+				break
+			}
+		}
+		return p
+	}
+	if len(pools) >= maxPools {
+		oldest := poolOrder[0]
+		poolOrder = poolOrder[1:]
+		delete(pools, oldest)
+	}
+	p := &sessionPool{vocab: v}
+	pools[d] = p
+	poolOrder = append(poolOrder, d)
+	return p
+}
+
+// ResetSolverPools drops every pooled solver. Benchmarks call it to measure
+// cold-pool behavior; production code never needs to.
+func ResetSolverPools() {
+	poolsMu.Lock()
+	defer poolsMu.Unlock()
+	pools = make(map[fs.Digest]*sessionPool)
+	poolOrder = nil
+}

@@ -7,10 +7,14 @@
 // within one check — lets every check in the process reuse earlier
 // verdicts. The cache is concurrency-safe and singleflight-deduplicated:
 // when several workers ask the same query at once, exactly one runs the
-// solver and the rest wait for its answer.
+// solver and the rest wait for its answer. It is bounded: beyond the
+// configured capacity (DefaultCap unless NewWithCap says otherwise) the
+// least-recently-used verdict is evicted, so a long-running process holds
+// the hot working set without unbounded growth.
 package qcache
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/fs"
@@ -45,6 +49,9 @@ type Stats struct {
 	Hits      int64 // calls answered from the completed-verdict table
 	Misses    int64 // calls that ran the compute function
 	Coalesced int64 // calls that waited on another caller's in-flight query
+	Evictions int64 // verdicts dropped by the LRU bound
+	Size      int   // completed verdicts currently held
+	Cap       int   // configured bound; 0 means unbounded
 }
 
 // call tracks one in-flight computation.
@@ -53,20 +60,62 @@ type call struct {
 	val  bool
 }
 
-// Cache memoizes boolean query verdicts under singleflight deduplication.
-// The zero value is not ready; use New.
+// entry is one completed verdict on the LRU list (front = most recent).
+type entry struct {
+	key Key
+	val bool
+}
+
+// DefaultCap bounds the process-wide cache. A verdict is one boolean plus
+// a 72-byte key, so the default admits the full pairwise closure of a
+// ~360-resource fleet (~65k distinct pairs) in a few MB while guaranteeing
+// a long-running process can never grow without bound.
+const DefaultCap = 1 << 16
+
+// Cache memoizes boolean query verdicts under singleflight deduplication,
+// bounded by LRU eviction. The zero value is not ready; use New or
+// NewWithCap.
 type Cache struct {
 	mu       sync.Mutex
-	done     map[Key]bool
+	cap      int // 0: unbounded
+	done     map[Key]*list.Element
+	lru      *list.List // of *entry, front = most recently used
 	inflight map[Key]*call
 	stats    Stats
 }
 
-// New creates an empty cache.
-func New() *Cache {
+// New creates an empty cache bounded at DefaultCap verdicts.
+func New() *Cache { return NewWithCap(DefaultCap) }
+
+// NewWithCap creates an empty cache holding at most cap completed
+// verdicts, evicting least-recently-used ones beyond that. cap <= 0 means
+// unbounded.
+func NewWithCap(cap int) *Cache {
+	if cap < 0 {
+		cap = 0
+	}
 	return &Cache{
-		done:     make(map[Key]bool),
+		cap:      cap,
+		done:     make(map[Key]*list.Element),
+		lru:      list.New(),
 		inflight: make(map[Key]*call),
+	}
+}
+
+// insert publishes a completed verdict, evicting the LRU entry when the
+// bound is exceeded. Callers hold c.mu.
+func (c *Cache) insert(key Key, val bool) {
+	if el, ok := c.done[key]; ok { // raced Reset+recompute; refresh in place
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.done[key] = c.lru.PushFront(&entry{key: key, val: val})
+	if c.cap > 0 && c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.done, oldest.Value.(*entry).key)
+		c.stats.Evictions++
 	}
 }
 
@@ -83,8 +132,10 @@ func Shared() *Cache { return shared }
 // completed table or by waiting on an in-flight leader).
 func (c *Cache) Do(key Key, compute func() bool) (val, hit bool) {
 	c.mu.Lock()
-	if v, ok := c.done[key]; ok {
+	if el, ok := c.done[key]; ok {
 		c.stats.Hits++
+		c.lru.MoveToFront(el)
+		v := el.Value.(*entry).val
 		c.mu.Unlock()
 		return v, true
 	}
@@ -102,19 +153,24 @@ func (c *Cache) Do(key Key, compute func() bool) (val, hit bool) {
 	cl.val = compute()
 
 	c.mu.Lock()
-	c.done[key] = cl.val
+	c.insert(key, cl.val)
 	delete(c.inflight, key)
 	c.mu.Unlock()
 	close(cl.done)
 	return cl.val, false
 }
 
-// Lookup returns the cached verdict without computing.
+// Lookup returns the cached verdict without computing. A found verdict
+// counts as a use for eviction ordering.
 func (c *Cache) Lookup(key Key) (val, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, ok := c.done[key]
-	return v, ok
+	el, ok := c.done[key]
+	if !ok {
+		return false, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
 }
 
 // Len returns the number of completed verdicts.
@@ -124,11 +180,15 @@ func (c *Cache) Len() int {
 	return len(c.done)
 }
 
-// StatsSnapshot returns the current counters.
+// StatsSnapshot returns the current counters plus the live size and the
+// configured bound.
 func (c *Cache) StatsSnapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	s := c.stats
+	s.Size = c.lru.Len()
+	s.Cap = c.cap
+	return s
 }
 
 // Reset clears verdicts and counters. In-flight computations complete and
@@ -137,6 +197,7 @@ func (c *Cache) StatsSnapshot() Stats {
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.done = make(map[Key]bool)
+	c.done = make(map[Key]*list.Element)
+	c.lru = list.New()
 	c.stats = Stats{}
 }

@@ -182,3 +182,83 @@ func TestGroupPropagatesError(t *testing.T) {
 		t.Errorf("retry: v=%q err=%v", v, err)
 	}
 }
+
+func TestCacheBounded(t *testing.T) {
+	const cap = 8
+	c := NewWithCap(cap)
+	ds := digests(100)
+	for i, d := range ds {
+		c.Do(PairKey(d, d, 1), func() bool { return true })
+		if c.Len() > cap {
+			t.Fatalf("after %d inserts cache holds %d verdicts, cap %d", i+1, c.Len(), cap)
+		}
+	}
+	st := c.StatsSnapshot()
+	if st.Size != cap {
+		t.Errorf("Size = %d, want %d", st.Size, cap)
+	}
+	if st.Cap != cap {
+		t.Errorf("Cap = %d, want %d", st.Cap, cap)
+	}
+	if st.Evictions != int64(len(ds)-cap) {
+		t.Errorf("Evictions = %d, want %d", st.Evictions, len(ds)-cap)
+	}
+	// The most recent cap keys are present; the oldest are gone.
+	for _, d := range ds[len(ds)-cap:] {
+		if _, ok := c.Lookup(PairKey(d, d, 1)); !ok {
+			t.Error("recently inserted verdict evicted")
+		}
+	}
+	if _, ok := c.Lookup(PairKey(ds[0], ds[0], 1)); ok {
+		t.Error("oldest verdict survived past the bound")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewWithCap(2)
+	ds := digests(3)
+	k := func(i int) Key { return PairKey(ds[i], ds[i], 1) }
+	c.Do(k(0), func() bool { return true })
+	c.Do(k(1), func() bool { return true })
+	// Touch k0 so k1 becomes the eviction victim.
+	if _, ok := c.Lookup(k(0)); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.Do(k(2), func() bool { return true })
+	if _, ok := c.Lookup(k(0)); !ok {
+		t.Error("recently used verdict was evicted")
+	}
+	if _, ok := c.Lookup(k(1)); ok {
+		t.Error("least recently used verdict survived")
+	}
+}
+
+func TestCacheUnbounded(t *testing.T) {
+	c := NewWithCap(0)
+	ds := digests(64)
+	for _, d := range ds {
+		c.Do(PairKey(d, d, 1), func() bool { return false })
+	}
+	if c.Len() != len(ds) {
+		t.Fatalf("unbounded cache holds %d, want %d", c.Len(), len(ds))
+	}
+	if ev := c.StatsSnapshot().Evictions; ev != 0 {
+		t.Fatalf("unbounded cache evicted %d", ev)
+	}
+}
+
+func TestCacheEvictedRecomputes(t *testing.T) {
+	c := NewWithCap(1)
+	ds := digests(2)
+	var computes atomic.Int64
+	compute := func() bool { computes.Add(1); return true }
+	k0, k1 := PairKey(ds[0], ds[0], 1), PairKey(ds[1], ds[1], 1)
+	c.Do(k0, compute)
+	c.Do(k1, compute) // evicts k0
+	if _, hit := c.Do(k0, compute); hit {
+		t.Error("evicted verdict reported as hit")
+	}
+	if computes.Load() != 3 {
+		t.Errorf("computes = %d, want 3 (k0 recomputed after eviction)", computes.Load())
+	}
+}

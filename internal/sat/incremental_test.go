@@ -1,0 +1,314 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSimplifyRemovesSatisfied: a clause satisfied at the root level after
+// later unit propagation is deleted by the preprocessing pass.
+func TestSimplifyRemovesSatisfied(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(PosLit(a)) // propagates a=true, satisfying the clause above
+	if !s.Simplify() {
+		t.Fatal("Simplify reported unsat")
+	}
+	if got := s.NumClauses(); got != 0 {
+		t.Errorf("NumClauses after Simplify = %d, want 0", got)
+	}
+	if s.SimplifyCounters().Removed == 0 {
+		t.Error("Removed counter not incremented")
+	}
+	if s.Solve() != Sat {
+		t.Error("formula should stay sat")
+	}
+}
+
+// TestSimplifyStrengthens: root-false literals are dropped from surviving
+// clauses.
+func TestSimplifyStrengthens(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b), PosLit(c))
+	s.AddClause(NegLit(a)) // a=false: the ternary clause should shrink to (b ∨ c)
+	if !s.Simplify() {
+		t.Fatal("Simplify reported unsat")
+	}
+	if got := s.NumClauses(); got != 1 {
+		t.Errorf("NumClauses after Simplify = %d, want 1", got)
+	}
+	if s.SimplifyCounters().Strengthened == 0 {
+		t.Error("Strengthened counter not incremented")
+	}
+	if s.Solve() != Sat {
+		t.Error("formula should stay sat")
+	}
+	if !s.Value(b) && !s.Value(c) {
+		t.Error("model violates strengthened clause")
+	}
+}
+
+// TestSimplifySubsumption: (a ∨ b) subsumes (a ∨ b ∨ c).
+func TestSimplifySubsumption(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(PosLit(a), PosLit(b), PosLit(c))
+	if !s.Simplify() {
+		t.Fatal("Simplify reported unsat")
+	}
+	if got := s.NumClauses(); got != 1 {
+		t.Errorf("NumClauses after Simplify = %d, want 1", got)
+	}
+	if s.SimplifyCounters().Subsumed != 1 {
+		t.Errorf("Subsumed = %d, want 1", s.SimplifyCounters().Subsumed)
+	}
+}
+
+// TestSimplifySelfSubsumption: resolving (a ∨ b) against (¬a ∨ b ∨ c) on a
+// yields (b ∨ c), which replaces the longer clause.
+func TestSimplifySelfSubsumption(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(NegLit(a), PosLit(b), PosLit(c))
+	if !s.Simplify() {
+		t.Fatal("Simplify reported unsat")
+	}
+	if got := s.NumClauses(); got != 2 {
+		t.Errorf("NumClauses after Simplify = %d, want 2", got)
+	}
+	if s.SimplifyCounters().Strengthened == 0 {
+		t.Error("Strengthened counter not incremented by self-subsumption")
+	}
+	// ¬b must now force both a (first clause) and c (strengthened clause).
+	if s.Solve(NegLit(b)) != Sat {
+		t.Fatal("should be sat under ¬b")
+	}
+	if !s.Value(a) || !s.Value(c) {
+		t.Error("self-subsumed clause not strengthened: ¬b should force a and c")
+	}
+}
+
+// TestReleaseVarRecycling exercises the full activation-literal lifecycle:
+// guard clauses behind act, query under the assumption, retire the scope
+// with ReleaseVar, and observe the variable being handed out again.
+func TestReleaseVarRecycling(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	act := s.NewVar()
+	s.AddClause(NegLit(act), NegLit(a)) // under act: ¬a, contradicting the base
+	if s.Solve(PosLit(act)) != Unsat {
+		t.Fatal("query under activation literal should be unsat")
+	}
+	if s.Solve() != Sat {
+		t.Fatal("base formula should stay sat")
+	}
+	nv := s.NumVars()
+	s.ReleaseVar(NegLit(act))
+	if !s.Simplify() {
+		t.Fatal("Simplify reported unsat")
+	}
+	if s.SimplifyCounters().VarsRecycled == 0 {
+		t.Fatal("released var not recycled")
+	}
+	if got := s.NewVar(); got != act {
+		t.Errorf("NewVar = %v, want recycled %v", got, act)
+	}
+	if s.NumVars() != nv {
+		t.Errorf("NumVars grew from %d to %d despite recycling", nv, s.NumVars())
+	}
+	if s.Solve() != Sat || !s.Value(a) {
+		t.Error("solver unusable after recycling")
+	}
+}
+
+// TestClearLearnts drops the learnt database and leaves the problem intact.
+func TestClearLearnts(t *testing.T) {
+	s := New()
+	// PHP(6,6) is satisfiable but needs search, producing learnt clauses.
+	n := 6
+	at := make([][]Var, n)
+	for p := 0; p < n; p++ {
+		at[p] = make([]Var, n)
+		for h := 0; h < n; h++ {
+			at[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = PosLit(at[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				s.AddClause(NegLit(at[p1][h]), NegLit(at[p2][h]))
+			}
+		}
+	}
+	nc := s.NumClauses()
+	if s.Solve() != Sat {
+		t.Fatal("PHP(6,6) should be sat")
+	}
+	s.ClearLearnts()
+	if got := s.LearntClauses(); got != 0 {
+		t.Errorf("LearntClauses after ClearLearnts = %d, want 0", got)
+	}
+	if got := s.NumClauses(); got != nc {
+		t.Errorf("problem clauses changed: %d, want %d", got, nc)
+	}
+	if s.Solve() != Sat {
+		t.Error("formula should stay sat after ClearLearnts")
+	}
+}
+
+// TestIncrementalActivationDifferential is the verdict-equivalence gate for
+// the incremental backend: one long-lived solver answers a stream of
+// assumption-scoped queries (each batch of extra clauses guarded by a fresh
+// activation literal, retired with ReleaseVar afterwards), and every verdict
+// must match a fresh solver built from scratch for that query. Periodic
+// explicit Simplify calls exercise preprocessing and variable recycling
+// mid-stream.
+func TestIncrementalActivationDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 30; trial++ {
+		nvars := 5 + r.Intn(6)
+		inc := New()
+		vars := make([]Var, nvars)
+		for i := range vars {
+			vars[i] = inc.NewVar()
+		}
+		randClause := func() []Lit {
+			width := 1 + r.Intn(3)
+			c := make([]Lit, 0, width)
+			for j := 0; j < width; j++ {
+				c = append(c, MkLit(vars[r.Intn(nvars)], r.Intn(2) == 0))
+			}
+			return c
+		}
+		var base [][]Lit
+		baseOK := true
+		for i := 0; i < nvars*2; i++ {
+			c := randClause()
+			base = append(base, c)
+			if !inc.AddClause(c...) {
+				baseOK = false
+			}
+		}
+		for q := 0; q < 12; q++ {
+			var extra [][]Lit
+			for i := 0; i < 1+r.Intn(3); i++ {
+				extra = append(extra, randClause())
+			}
+			// Fresh-solver reference verdict.
+			fresh := New()
+			for i := 0; i < nvars; i++ {
+				fresh.NewVar()
+			}
+			freshOK := true
+			for _, c := range append(append([][]Lit{}, base...), extra...) {
+				if !fresh.AddClause(c...) {
+					freshOK = false
+				}
+			}
+			want := Unsat
+			if freshOK {
+				want = fresh.Solve()
+			}
+			// Incremental verdict under an activation literal.
+			var got Status
+			if !baseOK {
+				got = Unsat
+			} else {
+				act := inc.NewVar()
+				for _, c := range extra {
+					inc.AddClause(append([]Lit{NegLit(act)}, c...)...)
+				}
+				got = inc.Solve(PosLit(act))
+				if got == Sat {
+					// The model must satisfy base and extras.
+					for _, c := range append(append([][]Lit{}, base...), extra...) {
+						sat := false
+						for _, l := range c {
+							if inc.Value(l.Var()) == l.IsPos() {
+								sat = true
+							}
+						}
+						if !sat {
+							t.Fatalf("trial %d q %d: incremental model violates %v", trial, q, c)
+						}
+					}
+				}
+				inc.ReleaseVar(NegLit(act))
+			}
+			if got != want {
+				t.Fatalf("trial %d q %d: incremental=%v fresh=%v (base=%v extra=%v)",
+					trial, q, got, want, base, extra)
+			}
+			if q%4 == 3 && baseOK {
+				if !inc.Simplify() {
+					// Root-level conflict: the base formula itself is unsat.
+					if fresh := want; fresh != Unsat {
+						t.Fatalf("trial %d q %d: Simplify unsat but fresh=%v", trial, q, fresh)
+					}
+					baseOK = false
+				}
+			}
+		}
+		if baseOK && inc.SimplifyCounters().VarsRecycled == 0 {
+			t.Errorf("trial %d: no activation literals were recycled", trial)
+		}
+	}
+}
+
+// TestLearntRetentionAcrossQueries checks that learnt clauses survive
+// assumption-scoped queries (the whole point of pooling) and that verdicts
+// are unaffected.
+func TestLearntRetentionAcrossQueries(t *testing.T) {
+	s := New()
+	// PHP(5+1,5) guarded by an activation literal: unsat under act only.
+	holes := 5
+	pigeons := holes + 1
+	act := s.NewVar()
+	at := make([][]Var, pigeons)
+	for p := 0; p < pigeons; p++ {
+		at[p] = make([]Var, holes)
+		for h := 0; h < holes; h++ {
+			at[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := []Lit{NegLit(act)}
+		for h := 0; h < holes; h++ {
+			lits = append(lits, PosLit(at[p][h]))
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(act), NegLit(at[p1][h]), NegLit(at[p2][h]))
+			}
+		}
+	}
+	if s.Solve(PosLit(act)) != Unsat {
+		t.Fatal("guarded PHP should be unsat under act")
+	}
+	learnt := s.LearntClauses()
+	if learnt == 0 {
+		t.Fatal("expected learnt clauses from PHP search")
+	}
+	// Learnt clauses persist into the next query and don't change verdicts.
+	if s.Solve() != Sat {
+		t.Error("formula should be sat without the assumption")
+	}
+	if s.Solve(PosLit(act)) != Unsat {
+		t.Error("second guarded query should still be unsat")
+	}
+}

@@ -140,6 +140,13 @@ type Solver struct {
 	nLearnt   int
 	maxLearnt int
 
+	// Incremental-solving state (see incremental.go).
+	released    []Var // vars retired by ReleaseVar, scrubbed at the next Simplify
+	recycled    []Var // fully scrubbed vars available for NewVar reuse
+	dirty       bool  // clauses added since the last preprocessing pass
+	subsumeHead int   // clause-index watermark for the subsumption pass
+	simp        SimplifyStats
+
 	// Budget limits the number of conflicts Solve may encounter; 0 means
 	// unlimited. Used by the timeout-bearing configurations of the
 	// determinacy checker.
@@ -184,8 +191,15 @@ func (s *Solver) NumClauses() int {
 // Conflicts returns the number of conflicts encountered so far.
 func (s *Solver) Conflicts() int64 { return s.conflicts }
 
-// NewVar allocates a fresh variable.
+// NewVar allocates a fresh variable, reusing a recycled one (see
+// ReleaseVar) when available.
 func (s *Solver) NewVar() Var {
+	if n := len(s.recycled); n > 0 {
+		v := s.recycled[n-1]
+		s.recycled = s.recycled[:n-1]
+		s.order.push(v)
+		return v
+	}
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, vUnknown)
 	s.phase = append(s.phase, false)
@@ -214,6 +228,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.unsat {
 		return false
 	}
+	s.dirty = true
 	// Adding a clause invalidates any previous model: drop back to the root
 	// decision level so the level-0 simplification below is sound.
 	s.cancelUntil(0)
@@ -576,6 +591,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		return Unsat
 	}
 	s.cancelUntil(0)
+	// Root-level preprocessing: whenever clauses were added since the last
+	// pass, simplify the database before entering the search loop.
+	if s.dirty && !s.Simplify() {
+		return Unsat
+	}
 	restartIdx := int64(1)
 	conflictsAtStart := s.conflicts
 	restartBudget := luby(restartIdx) * 64

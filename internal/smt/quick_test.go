@@ -86,7 +86,8 @@ func TestQuickModelsEvaluateTrue(t *testing.T) {
 		g.s.Assert(g.term)
 		switch g.s.Check() {
 		case sat.Sat:
-			return g.s.BoolValue(g.term)
+			v, err := g.s.BoolValue(g.term)
+			return err == nil && v
 		case sat.Unsat:
 			// Then the negation must be valid: ¬t satisfiable... more
 			// precisely asserting ¬t must be satisfiable since t was a

@@ -99,6 +99,12 @@ type Solver struct {
 
 	asserted []T
 	nextTmp  int
+
+	// Incremental state (see incremental.go): open assertion scopes, each
+	// guarded by an activation literal, and the status of the most recent
+	// Check — model accessors require it to be sat.Sat.
+	scopes     []scope
+	lastStatus sat.Status
 }
 
 // NewSolver creates an empty solver containing only the constant terms.
@@ -307,26 +313,46 @@ func (s *Solver) Ite(c, a, b T) T {
 	return s.intern(fmt.Sprintf("?%d,%d,%d", c, a, b), node{op: opIte, args: []T{c, a, b}})
 }
 
-// Assert adds t as a top-level constraint for subsequent Check calls.
+// Assert adds t as a constraint for subsequent Check calls. Inside a Push
+// scope the constraint is retired again by the matching Pop; at the top
+// level it is permanent. Asserting invalidates any previously found model.
 func (s *Solver) Assert(t T) {
 	s.asserted = append(s.asserted, t)
-	s.sat.AddClause(s.compile(t))
+	s.lastStatus = sat.Unknown
+	l := s.compile(t)
+	if n := len(s.scopes); n > 0 {
+		// Guard by the innermost activation literal only: scopes pop LIFO,
+		// so releasing that literal is what retires this clause.
+		s.sat.AddClause(s.scopes[n-1].act.Neg(), l)
+		return
+	}
+	s.sat.AddClause(l)
 }
 
 // Check decides satisfiability of the asserted constraints under the given
-// assumption terms.
+// assumption terms. Constraints asserted in open scopes participate via
+// their activation literals.
 func (s *Solver) Check(assumptions ...T) sat.Status {
-	lits := make([]sat.Lit, len(assumptions))
-	for i, a := range assumptions {
-		lits[i] = s.compile(a)
+	lits := make([]sat.Lit, 0, len(assumptions)+len(s.scopes))
+	for _, a := range assumptions {
+		lits = append(lits, s.compile(a))
 	}
-	return s.sat.Solve(lits...)
+	for _, sc := range s.scopes {
+		lits = append(lits, sc.act)
+	}
+	st := s.sat.Solve(lits...)
+	s.lastStatus = st
+	return st
 }
 
-// BoolValue returns t's value in the model found by the last successful
-// Check. Only meaningful after Check returned Sat.
-func (s *Solver) BoolValue(t T) bool {
-	return s.eval(t, make(map[T]bool))
+// BoolValue returns t's value in the model found by the last Check. It
+// returns ErrNoModel unless that Check returned sat.Sat and no assertion or
+// scope change has invalidated the model since.
+func (s *Solver) BoolValue(t T) (bool, error) {
+	if s.lastStatus != sat.Sat {
+		return false, ErrNoModel
+	}
+	return s.eval(t, make(map[T]bool)), nil
 }
 
 func (s *Solver) eval(t T, memo map[T]bool) bool {
@@ -504,9 +530,13 @@ func (s *Solver) EnumIs(e Enum, value int) T {
 	return s.EnumEq(e, s.EnumConst(e.Sort, value))
 }
 
-// EnumValue returns e's value in the current model. Only meaningful after
-// Check returned Sat.
-func (s *Solver) EnumValue(e Enum) int {
+// EnumValue returns e's value in the current model. It returns ErrNoModel
+// unless the last Check returned sat.Sat and no assertion or scope change
+// has invalidated the model since.
+func (s *Solver) EnumValue(e Enum) (int, error) {
+	if s.lastStatus != sat.Sat {
+		return 0, ErrNoModel
+	}
 	memo := make(map[T]bool)
 	v := 0
 	for i, b := range e.bits {
@@ -520,7 +550,7 @@ func (s *Solver) EnumValue(e Enum) int {
 		// that feed constraints).
 		v = 0
 	}
-	return v
+	return v, nil
 }
 
 func sortTs(ts []T) {

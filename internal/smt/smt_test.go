@@ -7,6 +7,26 @@ import (
 	"repro/internal/sat"
 )
 
+// mustBool and mustEnum unwrap model accessors in contexts where a model is
+// known to exist (Check just returned Sat).
+func mustBool(t *testing.T, s *Solver, term T) bool {
+	t.Helper()
+	v, err := s.BoolValue(term)
+	if err != nil {
+		t.Fatalf("BoolValue: %v", err)
+	}
+	return v
+}
+
+func mustEnum(t *testing.T, s *Solver, e Enum) int {
+	t.Helper()
+	v, err := s.EnumValue(e)
+	if err != nil {
+		t.Fatalf("EnumValue: %v", err)
+	}
+	return v
+}
+
 func TestConstants(t *testing.T) {
 	s := NewSolver()
 	if s.Bool(true) != TrueT || s.Bool(false) != FalseT {
@@ -78,8 +98,8 @@ func TestSolveSimple(t *testing.T) {
 	if s.Check() != sat.Sat {
 		t.Fatal("expected sat")
 	}
-	if s.BoolValue(a) || !s.BoolValue(b) {
-		t.Fatalf("model wrong: a=%v b=%v", s.BoolValue(a), s.BoolValue(b))
+	if mustBool(t, s, a) || !mustBool(t, s, b) {
+		t.Fatalf("model wrong: a=%v b=%v", mustBool(t, s, a), mustBool(t, s, b))
 	}
 	s.Assert(s.Not(b))
 	if s.Check() != sat.Unsat {
@@ -97,7 +117,7 @@ func TestAssumptions(t *testing.T) {
 	if s.Check(a) != sat.Sat {
 		t.Fatal("a alone should be sat")
 	}
-	if !s.BoolValue(b) {
+	if !mustBool(t, s, b) {
 		t.Fatal("b must be true when a assumed")
 	}
 }
@@ -113,7 +133,7 @@ func TestIteSemantics(t *testing.T) {
 	if s.Check() != sat.Sat {
 		t.Fatal("sat expected")
 	}
-	if s.BoolValue(ite) {
+	if mustBool(t, s, ite) {
 		t.Fatal("ite should evaluate to a=false")
 	}
 	// And asserting ite must now be unsat.
@@ -142,7 +162,7 @@ func TestEnumBasics(t *testing.T) {
 	if s.Check() != sat.Sat {
 		t.Fatal("sat expected")
 	}
-	if got := s.EnumValue(x); got != 2 {
+	if got := mustEnum(t, s, x); got != 2 {
 		t.Fatalf("EnumValue = %d, want 2", got)
 	}
 	// Two different constants are never equal.
@@ -175,7 +195,7 @@ func TestEnumIte(t *testing.T) {
 	if s.Check() != sat.Sat {
 		t.Fatal("sat expected")
 	}
-	if s.BoolValue(c) {
+	if mustBool(t, s, c) {
 		t.Fatal("c must be false for x==3")
 	}
 }
@@ -190,7 +210,7 @@ func TestEnumEqVars(t *testing.T) {
 	if s.Check() != sat.Sat {
 		t.Fatal("sat expected")
 	}
-	if got := s.EnumValue(y); got != 4 {
+	if got := mustEnum(t, s, y); got != 4 {
 		t.Fatalf("y = %d, want 4", got)
 	}
 	s.Assert(s.Not(s.EnumIs(y, 4)))
@@ -207,7 +227,10 @@ func TestSingletonSort(t *testing.T) {
 	if s.EnumEq(x, y) != TrueT {
 		t.Error("singleton sort values are always equal")
 	}
-	if s.EnumValue(x) != 0 {
+	if s.Check() != sat.Sat {
+		t.Fatal("unconstrained singleton should be sat")
+	}
+	if mustEnum(t, s, x) != 0 {
 		t.Error("singleton value must be 0")
 	}
 }
@@ -303,7 +326,7 @@ func TestRandomTermsAgainstEvaluation(t *testing.T) {
 		if s.Check() != sat.Sat {
 			t.Fatalf("trial %d: pinned evaluation should be sat (want %v)", trial, want)
 		}
-		if got := s.BoolValue(term); got != want {
+		if got := mustBool(t, s, term); got != want {
 			t.Fatalf("trial %d: BoolValue=%v want %v", trial, got, want)
 		}
 	}
@@ -320,7 +343,7 @@ func TestEnumValueDistribution(t *testing.T) {
 		if s.Check() != sat.Sat {
 			t.Fatalf("x==%d unsat", v)
 		}
-		if got := s.EnumValue(x); got != v {
+		if got := mustEnum(t, s, x); got != v {
 			t.Fatalf("EnumValue=%d want %d", got, v)
 		}
 	}

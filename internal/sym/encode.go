@@ -277,23 +277,33 @@ func (en *Encoder) WellFormed(st *State) smt.T {
 }
 
 // ModelState extracts the concrete filesystem assigned to st by the current
-// model (Check must have returned Sat). Initial-content tokens concretize
-// to unique synthetic strings; literal tokens to themselves.
-func (en *Encoder) ModelState(st *State) fs.State {
+// model. Initial-content tokens concretize to unique synthetic strings;
+// literal tokens to themselves. It returns smt.ErrNoModel when the last
+// Check did not produce a model.
+func (en *Encoder) ModelState(st *State) (fs.State, error) {
 	out := fs.NewState()
 	for _, p := range en.V.Paths {
 		ps := st.Lookup(p)
-		switch en.S.EnumValue(ps.Kind) {
+		kind, err := en.S.EnumValue(ps.Kind)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
 		case KindDir:
 			out[p] = fs.DirContent()
 		case KindFile:
-			out[p] = fs.FileContent(en.V.TokenString(en.S.EnumValue(ps.Content)))
+			content, err := en.S.EnumValue(ps.Content)
+			if err != nil {
+				return nil, err
+			}
+			out[p] = fs.FileContent(en.V.TokenString(content))
 		}
 	}
-	return out
+	return out, nil
 }
 
-// ModelOk reports whether st is a success state in the current model.
-func (en *Encoder) ModelOk(st *State) bool {
+// ModelOk reports whether st is a success state in the current model. It
+// returns smt.ErrNoModel when the last Check did not produce a model.
+func (en *Encoder) ModelOk(st *State) (bool, error) {
 	return en.S.BoolValue(st.Ok)
 }

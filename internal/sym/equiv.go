@@ -75,7 +75,11 @@ func Equiv(e1, e2 fs.Expr, opts Options) (bool, *Counterexample, error) {
 // soundness self-check: the decoded input must actually distinguish the
 // expressions.
 func extractCounterexample(en *Encoder, input *State, e1, e2 fs.Expr) *Counterexample {
-	in := en.ModelState(input)
+	in, err := en.ModelState(input)
+	if err != nil {
+		// Callers only reach here straight after Check returned Sat.
+		panic(fmt.Sprintf("sym: no model for counterexample extraction: %v", err))
+	}
 	out1, ok1 := fs.Eval(e1, in)
 	out2, ok2 := fs.Eval(e2, in)
 	if ok1 == ok2 && (!ok1 || out1.Equal(out2)) {

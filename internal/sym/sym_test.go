@@ -308,12 +308,19 @@ func TestModelStateRoundTrip(t *testing.T) {
 	if en.S.Check() != sat.Sat {
 		t.Fatal("creat must be satisfiable")
 	}
-	in := en.ModelState(input)
+	in, err := en.ModelState(input)
+	if err != nil {
+		t.Fatalf("ModelState: %v", err)
+	}
 	// The model must make /a a directory and /a/f absent.
 	if !in.IsDir("/a") || in.Exists("/a/f") {
 		t.Fatalf("bad model input: %s", fs.StateString(in))
 	}
-	if !en.ModelOk(out) {
+	ok, err := en.ModelOk(out)
+	if err != nil {
+		t.Fatalf("ModelOk: %v", err)
+	}
+	if !ok {
 		t.Fatal("asserted ok not reflected in model")
 	}
 	got, ok := fs.Eval(e, in)
