@@ -11,19 +11,24 @@
 //	                       parallel-engine speedup at 1/2/4/8 workers
 //	experiments -incremental-bench [-incremental-out BENCH_incremental.json]
 //	                       incremental-backend speedup: fresh vs pooled solvers
+//	experiments -interning-bench [-interning-out BENCH_interning.json]
+//	                       hash-consed IR: encode memoization + disk verdict tier
 //	experiments            all of the above
 //
 // The -timeout flag stands in for the paper's 10-minute limit (default
 // 10s: the deliberately-crippled configurations blow up factorially, so a
 // small limit shows the same shape quickly). The data behind each table is
 // computed by internal/experiments; EXPERIMENTS.md records paper-vs-
-// measured shapes.
+// measured shapes. -cpuprofile and -memprofile write pprof profiles of
+// whatever subset of the experiments ran.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -36,9 +41,38 @@ func main() {
 	parallelOut := flag.String("parallel-out", "", "write the parallel speedup results as a JSON trajectory point (e.g. BENCH_parallel.json)")
 	incrementalBench := flag.Bool("incremental-bench", false, "run the incremental-backend speedup experiment only")
 	incrementalOut := flag.String("incremental-out", "", "write the incremental speedup results as a JSON trajectory point (e.g. BENCH_incremental.json)")
+	interningBench := flag.Bool("interning-bench", false, "run the hash-consed-IR speedup experiment only")
+	interningOut := flag.String("interning-out", "", "write the interning speedup results as a JSON trajectory point (e.g. BENCH_interning.json)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-check timeout (paper: 10 minutes)")
 	maxN := flag.Int("max-n", 6, "largest n for figure 13")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	switch {
 	case *bugs:
@@ -47,6 +81,8 @@ func main() {
 		printParallel(*timeout, *parallelOut)
 	case *incrementalBench:
 		printIncremental(*timeout, *incrementalOut)
+	case *interningBench:
+		printInterning(*timeout, *interningOut)
 	case *fig == "":
 		printFig11a(*timeout)
 		printFig11b(*timeout)
@@ -56,6 +92,7 @@ func main() {
 		printBugs(*timeout)
 		printParallel(*timeout, *parallelOut)
 		printIncremental(*timeout, *incrementalOut)
+		printInterning(*timeout, *interningOut)
 	case *fig == "11a":
 		printFig11a(*timeout)
 	case *fig == "11b":
@@ -217,6 +254,36 @@ func printIncremental(timeout time.Duration, out string) {
 	}
 	fmt.Printf("warm-pool speedup over fresh: native %.2fx, modeled-z3 %.2fx (cold %.2fx)\n\n",
 		rep.NativeWarmSpeedup, rep.ModeledWarmSpeedup, rep.ModeledColdSpeedup)
+	if out != "" {
+		if err := rep.Write(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+func printInterning(timeout time.Duration, out string) {
+	// The modeled series sleep hundreds of milliseconds per cold query;
+	// give the runs headroom regardless of the figure timeout.
+	if timeout < time.Minute {
+		timeout = time.Minute
+	}
+	rep, err := experiments.BuildInterningReport(timeout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Hash-consed IR: encode memoization + on-disk verdict tier ==")
+	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
+	fmt.Printf("%-14s %12s %10s %12s %12s %10s\n",
+		"mode", "time", "queries", "intern-hits", "encode-memo", "disk-hits")
+	for _, r := range append(append([]experiments.InterningRow{}, rep.Encode...), rep.Disk...) {
+		fmt.Printf("%-14s %12s %10d %12d %12d %10d\n", r.Mode,
+			fmtTime(r.Time, r.TimedOut), r.Queries, r.InternHits, r.EncodeMemoHits, r.DiskCacheHits)
+	}
+	fmt.Printf("encode speedup over fresh-plain: cold %.2fx, warm %.2fx; disk warm-start speedup: %.2fx\n",
+		rep.EncodeColdSpeedup, rep.EncodeWarmSpeedup, rep.DiskWarmSpeedup)
+	fmt.Printf("digest micro-series: %d exprs x %d passes, plain %.4fs vs interned %.4fs (%.0fx)\n\n",
+		rep.Digest.Exprs, rep.Digest.Passes, rep.Digest.PlainSeconds, rep.Digest.InternedSeconds, rep.Digest.Speedup)
 	if out != "" {
 		if err := rep.Write(out); err != nil {
 			fatal(err)

@@ -13,12 +13,14 @@
 //	rehearsal -invariant /etc/motd=welcome site.pp
 //	rehearsal -dot site.pp > graph.dot
 //	rehearsal -parallel 8 site1.pp site2.pp site3.pp
+//	rehearsal -semantic-commute -cache-dir ~/.cache/rehearsal site.pp
 //
 // With several manifests the checks run concurrently (bounded by
 // -parallel) and share the process-wide semantic-commutativity cache, so
 // fleets of manifests with overlapping resources never re-solve the same
 // query; each manifest's report is printed as one block, in argument
-// order.
+// order. With -cache-dir, verdicts additionally persist on disk, so a
+// later rehearsal process pointed at the same directory starts warm.
 package main
 
 import (
@@ -66,6 +68,7 @@ func run(args []string) int {
 	noElim := fl.Bool("no-elimination", false, "disable resource elimination (section 4.4)")
 	noPrune := fl.Bool("no-pruning", false, "disable path pruning (section 4.4)")
 	semCommute := fl.Bool("semantic-commute", false, "strengthen the commutativity check with solver-based pairwise equivalence (helps overlapping package closures)")
+	cacheDir := fl.String("cache-dir", "", "persist semantic-commutativity verdicts to this directory; later runs pointed at the same directory start warm")
 	wellFormed := fl.Bool("well-formed-init", false, "restrict initial states to well-formed filesystem trees (realizable machines)")
 	skipIdem := fl.Bool("skip-idempotence", false, "only check determinism")
 	invariant := fl.String("invariant", "", "check a file invariant, formatted path=content")
@@ -73,7 +76,7 @@ func run(args []string) int {
 	suggest := fl.Bool("suggest", false, "on non-determinism, search for missing dependencies that repair the manifest")
 	parallel := fl.Int("parallel", 0, "worker count for solver queries and concurrent manifests (0 = number of CPUs)")
 	verbose := fl.Bool("v", false, "print analysis statistics")
-	stats := fl.Bool("stats", false, "print incremental solver-backend statistics (solver reuses, learnt clauses retained, clauses removed by preprocessing)")
+	stats := fl.Bool("stats", false, "print solver-backend statistics (solver reuses, learnt clauses retained, intern/encode-memo/disk-cache hits)")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -91,6 +94,7 @@ func run(args []string) int {
 	copts.Elimination = !*noElim
 	copts.Pruning = !*noPrune
 	copts.SemanticCommute = *semCommute
+	copts.CacheDir = *cacheDir
 	copts.WellFormedInit = *wellFormed
 	copts.Parallelism = *parallel
 	if *pkgServer != "" {
@@ -212,6 +216,8 @@ func verifyOne(w, ew io.Writer, path, src string, opts options) int {
 		fmt.Fprintf(w, "  solver-queries=%d solver-reuses=%d learnt-retained=%d preprocess-removed=%d\n",
 			res.Stats.SemQueries, res.Stats.SolverReuses,
 			res.Stats.LearntRetained, res.Stats.PreprocessRemoved)
+		fmt.Fprintf(w, "  intern-hits=%d encode-memo-hits=%d disk-cache-hits=%d\n",
+			res.Stats.InternHits, res.Stats.EncodeMemoHits, res.Stats.DiskCacheHits)
 	}
 	if !res.Deterministic {
 		fmt.Fprintln(w, "determinism: FAIL — the manifest is non-deterministic")

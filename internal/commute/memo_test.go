@@ -1,0 +1,86 @@
+package commute
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fs"
+)
+
+// deepSharedTrees builds n roots that all embed one deep shared prefix (a
+// guarded-mkdir chain, the shape package models take), returning the plain
+// trees. Interning them canonicalizes the prefix to a single node.
+func deepSharedTrees(n, depth int) []fs.Expr {
+	prefix := fs.Expr(fs.Id{})
+	p := ""
+	for i := 0; i < depth; i++ {
+		p += fmt.Sprintf("/d%d", i)
+		prefix = fs.Seq{E1: prefix, E2: fs.MkdirIfMissing(fs.ParsePath(p))}
+	}
+	roots := make([]fs.Expr, n)
+	for i := range roots {
+		leaf := fs.Creat{Path: fs.ParsePath(fmt.Sprintf("%s/f%d", p, i)), Content: "x"}
+		roots[i] = fs.Seq{E1: prefix, E2: leaf}
+	}
+	return roots
+}
+
+// TestAnalyzeMemoDeepSharing: analyzing interned roots over a deeply shared
+// prefix hits the summary memo on re-analysis, and every memoized summary
+// is semantically identical to the uncached plain-tree analysis.
+func TestAnalyzeMemoDeepSharing(t *testing.T) {
+	roots := deepSharedTrees(6, 40)
+	interned := make([]*fs.HExpr, len(roots))
+	for i, r := range roots {
+		interned[i] = fs.Intern(r)
+	}
+	// First analysis of each root fills the memo ...
+	_, m0 := AnalyzeMemoStats()
+	first := make([]*Summary, len(interned))
+	for i, h := range interned {
+		first[i] = Analyze(h)
+	}
+	_, m1 := AnalyzeMemoStats()
+	if misses := m1 - m0; misses < int64(len(interned)) {
+		t.Fatalf("first pass recorded %d memo misses; want >= %d", misses, len(interned))
+	}
+	// ... and re-analysis is pure memo hits, returning the same summaries.
+	h1, _ := AnalyzeMemoStats()
+	for i, h := range interned {
+		if again := Analyze(h); again != first[i] {
+			t.Fatalf("re-analysis of root %d returned a different summary", i)
+		}
+	}
+	h2, m2 := AnalyzeMemoStats()
+	if hits := h2 - h1; hits != int64(len(interned)) {
+		t.Errorf("re-analysis recorded %d memo hits; want %d", h2-h1, len(interned))
+	}
+	if m2 != m1 {
+		t.Errorf("re-analysis recorded %d new misses; want 0", m2-m1)
+	}
+	// Memoized summaries match the plain, uncached analysis observationally.
+	for i, r := range roots {
+		plain := Analyze(r)
+		if !reflect.DeepEqual(first[i].Paths(), plain.Paths()) {
+			t.Errorf("root %d: memoized path set diverges from plain analysis", i)
+		}
+		if !reflect.DeepEqual(first[i].ChildObserved(), plain.ChildObserved()) {
+			t.Errorf("root %d: memoized child-observation set diverges", i)
+		}
+		for p := range plain.Paths() {
+			if first[i].Effect(p) != plain.Effect(p) {
+				t.Errorf("root %d: effect of %s diverges", i, p)
+			}
+		}
+	}
+	// Commutativity verdicts agree between memoized and plain summaries.
+	for i := range roots {
+		for j := range roots {
+			want := Commute(Analyze(roots[i]), Analyze(roots[j]))
+			if got := Commute(first[i], first[j]); got != want {
+				t.Errorf("Commute(%d,%d) = %v on memoized summaries, %v on plain", i, j, got, want)
+			}
+		}
+	}
+}

@@ -109,6 +109,26 @@ type Options struct {
 	// (PerQueryLatency, PerSolverLatency) to project in-process speedups
 	// onto the paper's external-solver setup; 0 (production) adds nothing.
 	PerSolverLatency time.Duration
+	// PerEncodeLatency models the cost of symbolically compiling one
+	// component subtree of a semantic-commutativity query into an external
+	// solver's term language. The fresh-solver path pays it four times per
+	// query (both resource models, in both orders); a pooled session pays
+	// it once per apply-memo miss, so warm sessions over interned
+	// expressions pay nearly nothing. Benchmarks use it to project the
+	// encode-memoization speedup; 0 (production) adds nothing.
+	PerEncodeLatency time.Duration
+	// CacheDir enables the on-disk verdict tier (internal/qcache's Disk):
+	// semantic-commutativity verdicts computed by this process are written
+	// to the directory and later runs pointed at the same directory start
+	// warm, answering repeated queries with zero solver work. The store is
+	// versioned by the digest/encoder/solver scheme and bounded by a byte
+	// budget; empty (production default) keeps the cache memory-only.
+	CacheDir string
+	// DisableInterning compiles resource models as plain trees instead of
+	// hash-consed canonical nodes. Interning is semantics-preserving (the
+	// differential tests pin verdicts to this baseline); the knob exists
+	// for those tests and for the interning benchmark.
+	DisableInterning bool
 }
 
 // DefaultOptions enables every analysis, matching the configuration the
@@ -176,6 +196,13 @@ type System struct {
 	Catalog *puppet.Catalog
 	opts    Options
 	g       *graph.Graph[*node]
+
+	// Hash-consing counters from compilation: hits are structurally
+	// repeated subtrees (across this system's resources and any manifest
+	// loaded earlier in the process) that were shared instead of
+	// reallocated.
+	internHits   int64
+	internMisses int64
 }
 
 // Load parses, evaluates and compiles a manifest.
@@ -199,12 +226,25 @@ func FromCatalog(cat *puppet.Catalog, opts Options) (*System, error) {
 
 	g := graph.New[*node]()
 	byKey := make(map[string]graph.Node)
+	var internHits, internMisses int64
 	for _, r := range cat.Realized() {
 		expr, err := compiler.Compile(r)
 		if err != nil {
 			return nil, err
 		}
-		n := g.Add(&node{res: r, expr: expr, orig: expr, sum: commute.Analyze(expr)})
+		var model fs.Expr = expr
+		if !opts.DisableInterning {
+			// Canonicalize the model: resources sharing package dependency
+			// closures (the dominant cost, section 3.2) collapse to shared
+			// subtrees, and every downstream layer — digests, the symbolic
+			// encoder's apply memo, the commutativity and pruning analyses —
+			// keys off node identity instead of re-walking the tree.
+			h, st := fs.InternWithStats(expr)
+			model = h
+			internHits += st.Hits
+			internMisses += st.Misses
+		}
+		n := g.Add(&node{res: r, expr: model, orig: model, sum: commute.Analyze(model)})
 		byKey[r.Key()] = n
 	}
 
@@ -279,7 +319,7 @@ func FromCatalog(cat *puppet.Catalog, opts Options) (*System, error) {
 	if err := g.CheckAcyclic(); err != nil {
 		return nil, describeCycle(g)
 	}
-	return &System{Catalog: cat, opts: opts, g: g}, nil
+	return &System{Catalog: cat, opts: opts, g: g, internHits: internHits, internMisses: internMisses}, nil
 }
 
 // describeCycle renders a dependency cycle with resource names (the

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/graph"
 	"repro/internal/prune"
+	"repro/internal/qcache"
 	"repro/internal/sat"
 	"repro/internal/smt"
 	"repro/internal/sym"
@@ -55,6 +56,21 @@ type Stats struct {
 	// root-level preprocessing passes (satisfied-clause removal and
 	// subsumption), cumulative over the pool.
 	PreprocessRemoved int64
+
+	// InternHits counts hash-consing table hits while compiling and
+	// re-compiling this system's resource models — structurally repeated
+	// subtrees shared instead of reallocated (0 with
+	// Options.DisableInterning).
+	InternHits int64
+	// EncodeMemoHits counts symbolic applications the check's pooled
+	// sessions answered from their subtree memos instead of re-encoding.
+	// Read as a before/after delta over parked sessions, so, like
+	// LearntRetained, it is approximate when workers hold sessions across
+	// the snapshot.
+	EncodeMemoHits int64
+	// DiskCacheHits counts semantic-commutativity decisions answered by
+	// the on-disk verdict tier (0 without Options.CacheDir).
+	DiskCacheHits int
 }
 
 // SemCacheHitRate returns the fraction of semantic-commutativity
@@ -124,7 +140,17 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	}
 
 	cc := newCommuteChecker(opts)
-	stats := Stats{Resources: wg.Len(), TotalPaths: s.TotalPaths(), Workers: cc.workers}
+	stats := Stats{Resources: wg.Len(), TotalPaths: s.TotalPaths(), Workers: cc.workers, InternHits: s.internHits}
+
+	// Second verdict tier: persist this check's semantic-commutativity
+	// verdicts and warm-start from verdicts earlier processes left behind.
+	if opts.CacheDir != "" {
+		disk, err := qcache.OpenDiskShared(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		cc.cache.AttachDisk(disk)
+	}
 
 	// Incremental solving: route this check's semantic queries through a
 	// pooled solver per worker, sharing one vocabulary built from the full
@@ -142,6 +168,12 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 		}
 		cc.usePool(sym.NewVocab(poolDom, poolExprs...))
 	}
+	// Pools outlive checks (re-checks reuse warm sessions), so the memo-hit
+	// stat below is the delta this check contributed.
+	var applyHitsBase int64
+	if cc.pool != nil {
+		applyHitsBase = cc.pool.applyHits()
+	}
 
 	// Step 1 (section 4.4): eliminate resources that commute with every
 	// resource that may run after them. Removal order matters for replay:
@@ -156,7 +188,9 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	// Step 2 (section 4.4): prune definitive writes to paths that only a
 	// single resource touches.
 	if opts.Pruning {
-		stats.PrunedPaths = pruneGraph(wg)
+		pruned, reinternHits := pruneGraph(wg, !opts.DisableInterning)
+		stats.PrunedPaths = pruned
+		stats.InternHits += reinternHits
 	}
 
 	// Step 3 (sections 4.1–4.3): encode all POR-reduced linearizations
@@ -188,8 +222,12 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	stats.SemQueries = int(cc.queries.Load())
 	stats.SemCacheHits = int(cc.hits.Load())
 	stats.SolverReuses = int(cc.reuses.Load())
+	stats.DiskCacheHits = int(cc.diskHits.Load())
 	if cc.pool != nil {
 		stats.LearntRetained, stats.PreprocessRemoved = cc.pool.snapshot()
+		if d := cc.pool.applyHits() - applyHitsBase; d > 0 {
+			stats.EncodeMemoHits = d
+		}
 	}
 
 	if len(outs) <= 1 {
@@ -394,8 +432,10 @@ func eliminate(wg *graph.Graph[*workNode], cc *commuteChecker) []*workNode {
 }
 
 // pruneGraph prunes, for every resource, the definitive writes to paths no
-// other resource touches. Returns the number of pruned paths.
-func pruneGraph(wg *graph.Graph[*workNode]) int {
+// other resource touches. Returns the number of pruned paths and, when
+// intern is set, the hash-consing hits from re-canonicalizing the rebuilt
+// models (pruning shrinks trees, so most subtrees are already canonical).
+func pruneGraph(wg *graph.Graph[*workNode], intern bool) (int, int64) {
 	nodes := wg.Nodes()
 	// Count how many resources touch each path.
 	touchers := make(map[fs.Path]int)
@@ -410,6 +450,7 @@ func pruneGraph(wg *graph.Graph[*workNode]) int {
 		}
 	}
 	pruned := 0
+	var internHits int64
 	for _, n := range nodes {
 		wn := wg.Label(n)
 		defs := prune.DefinitiveWrites(wn.expr)
@@ -446,10 +487,15 @@ func pruneGraph(wg *graph.Graph[*workNode]) int {
 			changed = true
 		}
 		if changed {
+			if intern {
+				h, st := fs.InternWithStats(expr)
+				expr = h
+				internHits += st.Hits
+			}
 			wg.SetLabel(n, &workNode{name: wn.name, expr: expr, orig: wn.orig, sum: commute.Analyze(expr)})
 		}
 	}
-	return pruned
+	return pruned, internHits
 }
 
 // enumerate explores the POR-reduced linearizations of wg, applying each

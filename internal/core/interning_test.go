@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/benchmarks"
+	"repro/internal/core"
+	"repro/internal/qcache"
+)
+
+// TestInternedVerdictsMatchPlain is the acceptance gate of the hash-consed
+// IR: on the full example suite, checks over interned, memoized models must
+// produce verdicts — including counterexamples — identical to the plain-tree
+// baseline, at 1 and at 8 workers. Private query caches keep every run
+// solving for itself.
+func TestInternedVerdictsMatchPlain(t *testing.T) {
+	core.ResetSolverPools()
+	base := core.DefaultOptions()
+	base.SemanticCommute = true
+	base.Timeout = time.Minute
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			plain := base
+			plain.DisableInterning = true
+			plain.Parallelism = 1
+			plain.SharedQueryCache = qcache.New()
+			want := runCheck(t, b.Source, plain)
+			if want.err == "" && want.deterministic != b.Deterministic {
+				t.Fatalf("plain verdict %v disagrees with expected %v",
+					want.deterministic, b.Deterministic)
+			}
+			for _, workers := range []int{1, 8} {
+				interned := base
+				interned.Parallelism = workers
+				interned.SharedQueryCache = qcache.New()
+				got := runCheck(t, b.Source, interned)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("workers=%d: interned verdict diverges from plain:\ninterned: %+v\nplain:    %+v",
+						workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmDiskCache: a second check suite pointed at the same cache
+// directory must answer every semantic query from disk — zero solver
+// queries — with verdicts identical to the cold run.
+func TestWarmDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	base := core.DefaultOptions()
+	base.SemanticCommute = true
+	base.Timeout = time.Minute
+	base.CacheDir = dir
+
+	type outcome struct {
+		v       verdict
+		queries int
+		disk    int
+	}
+	run := func(t *testing.T, source string) outcome {
+		t.Helper()
+		opts := base
+		opts.SharedQueryCache = qcache.New() // fresh memory tier each run
+		s, err := core.Load(source, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.CheckDeterminism()
+		if err != nil {
+			return outcome{v: verdict{err: err.Error()}}
+		}
+		return outcome{
+			v: verdict{
+				deterministic: res.Deterministic,
+				cex:           res.Counterexample,
+				eliminated:    res.Stats.Eliminated,
+				sequences:     res.Stats.Sequences,
+			},
+			queries: res.Stats.SemQueries,
+			disk:    res.Stats.DiskCacheHits,
+		}
+	}
+
+	semQueries := 0
+	for _, b := range benchmarks.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			core.ResetSolverPools()
+			cold := run(t, b.Source)
+			semQueries += cold.queries
+			core.ResetSolverPools() // a warm pool would mask missing disk hits
+			warm := run(t, b.Source)
+			if !reflect.DeepEqual(warm.v, cold.v) {
+				t.Errorf("warm verdict diverges from cold:\nwarm: %+v\ncold: %+v", warm.v, cold.v)
+			}
+			if warm.queries != 0 {
+				t.Errorf("warm run executed %d solver queries; want 0", warm.queries)
+			}
+			if cold.queries > 0 && warm.disk == 0 {
+				t.Errorf("cold run solved %d queries but warm run had no disk hits", cold.queries)
+			}
+		})
+	}
+	if semQueries == 0 {
+		t.Error("suite produced no semantic queries; disk tier never exercised")
+	}
+}
+
+// TestInterningStats: compiling a manifest whose resources share dependency
+// closures must report intern hits, and the pooled encode memo must be
+// visible in the check stats.
+func TestInterningStats(t *testing.T) {
+	core.ResetSolverPools()
+	opts := core.DefaultOptions()
+	opts.SemanticCommute = true
+	opts.Parallelism = 1
+	opts.Timeout = 2 * time.Minute
+	opts.SharedQueryCache = qcache.New()
+	src := `
+package {'git': ensure => present }
+package {'amavisd-new': ensure => present }
+package {'spamassassin': ensure => present }
+`
+	s, err := core.Load(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckDeterminism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InternHits == 0 {
+		t.Error("overlapping dependency closures produced no intern hits")
+	}
+	if res.Stats.SemQueries >= 2 && res.Stats.EncodeMemoHits == 0 {
+		t.Errorf("%d semantic queries at 1 worker but no encode-memo hits", res.Stats.SemQueries)
+	}
+	if res.Stats.DiskCacheHits != 0 {
+		t.Errorf("DiskCacheHits = %d without CacheDir", res.Stats.DiskCacheHits)
+	}
+}

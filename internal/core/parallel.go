@@ -68,13 +68,15 @@ type commuteChecker struct {
 	workers       int
 	latency       time.Duration
 	solverLatency time.Duration
+	encodeLatency time.Duration
 	cache         *qcache.Cache
 	pool          *sessionPool // nil: build an isolated solver per query
 
-	local   sync.Map     // qcache.Key -> bool, this check's decisions
-	queries atomic.Int64 // solver queries this check executed
-	hits    atomic.Int64 // decisions served by the shared cache
-	reuses  atomic.Int64 // queries answered by a reused pooled solver
+	local    sync.Map     // qcache.Key -> bool, this check's decisions
+	queries  atomic.Int64 // solver queries this check executed
+	hits     atomic.Int64 // decisions served by the shared cache
+	reuses   atomic.Int64 // queries answered by a reused pooled solver
+	diskHits atomic.Int64 // decisions served by the on-disk verdict tier
 }
 
 func newCommuteChecker(opts Options) *commuteChecker {
@@ -92,6 +94,7 @@ func newCommuteChecker(opts Options) *commuteChecker {
 		workers:       workers,
 		latency:       opts.PerQueryLatency,
 		solverLatency: opts.PerSolverLatency,
+		encodeLatency: opts.PerEncodeLatency,
 		cache:         cache,
 	}
 }
@@ -108,7 +111,10 @@ func (c *commuteChecker) usePool(v *sym.Vocab) {
 
 // solve runs one semantic equivalence query, through the pool when one is
 // attached. The modeled solver-construction latency (PerSolverLatency) is
-// paid per query on the fresh path but only on pool misses when pooling.
+// paid per query on the fresh path but only on pool misses when pooling;
+// the modeled encode latency (PerEncodeLatency) is paid four times per
+// fresh query (both models, both orders) but only per apply-memo miss on a
+// pooled session — the subtree memoization the latency model projects.
 func (c *commuteChecker) solve(e1, e2 fs.Expr) (bool, error) {
 	if c.pool != nil {
 		sess, created := c.pool.acquire()
@@ -120,11 +126,20 @@ func (c *commuteChecker) solve(e1, e2 fs.Expr) (bool, error) {
 		} else {
 			c.reuses.Add(1)
 		}
+		before := sess.ApplyMisses()
 		eq, _, err := sess.Commutes(e1, e2, sym.Options{Budget: c.budget})
+		if c.encodeLatency > 0 {
+			if walked := sess.ApplyMisses() - before; walked > 0 {
+				time.Sleep(time.Duration(walked) * c.encodeLatency)
+			}
+		}
 		return eq, err
 	}
 	if c.solverLatency > 0 {
 		time.Sleep(c.solverLatency) // modeled per-query solver construction
+	}
+	if c.encodeLatency > 0 {
+		time.Sleep(4 * c.encodeLatency) // e1;e2 and e2;e1, compiled from scratch
 	}
 	eq, _, err := sym.Commutes(e1, e2, sym.Options{Budget: c.budget})
 	return eq, err
@@ -142,15 +157,26 @@ func (c *commuteChecker) commutes(a, b *workNode) bool {
 	if v, ok := c.local.Load(key); ok {
 		return v.(bool)
 	}
-	v, hit := c.cache.Do(key, func() bool {
+	v, src, err := c.cache.Do(key, func() (bool, error) {
 		c.queries.Add(1)
 		if c.latency > 0 {
 			time.Sleep(c.latency) // modeled external-solver round trip
 		}
-		eq, err := c.solve(a.expr, b.expr)
-		return err == nil && eq
+		return c.solve(a.expr, b.expr)
 	})
-	if hit {
+	if err != nil {
+		// Inconclusive (budget exhausted): non-commuting is always sound.
+		// The shared cache deliberately keeps no entry — a later check can
+		// retry — but this check memoizes the decision locally so repeated
+		// asks of the pair stay consistent and cheap.
+		c.local.Store(key, false)
+		return false
+	}
+	switch src {
+	case qcache.SrcDisk:
+		c.diskHits.Add(1)
+		c.hits.Add(1)
+	case qcache.SrcMemory, qcache.SrcCoalesced:
 		c.hits.Add(1)
 	}
 	c.local.Store(key, v)

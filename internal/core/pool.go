@@ -40,6 +40,20 @@ func (p *sessionPool) release(s *sym.Session) {
 	p.mu.Unlock()
 }
 
+// applyHits sums the parked sessions' apply-memo hits — symbolic
+// applications answered without walking a subtree. Like snapshot, it only
+// sees sessions parked at call time; internal/core reads before/after
+// deltas around a check, so the figure is approximate under concurrency.
+func (p *sessionPool) applyHits() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, s := range p.free {
+		n += s.Stats().ApplyHits
+	}
+	return n
+}
+
 // snapshot sums solver gauges over the parked sessions: live learnt clauses
 // and clauses removed by root-level preprocessing.
 func (p *sessionPool) snapshot() (learnt int, preprocessed int64) {

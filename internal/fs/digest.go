@@ -12,13 +12,93 @@ import (
 // memoizes solver verdicts across manifests that share resource models.
 type Digest [sha256.Size]byte
 
-// DigestExpr computes the canonical digest of e. The encoding is an
-// unambiguous preorder walk: every node contributes a type tag, and every
-// string (path or content) is length-prefixed, so no two distinct ASTs
-// serialize identically.
+// DigestExpr computes the canonical digest of e. The scheme is a Merkle
+// hash: a leaf digests its type tag and length-prefixed strings, an
+// interior node digests its tag followed by its children's digests. The
+// composition makes digests independent of sharing — an interned tree and
+// the equivalent plain tree hash identically — and lets hash-consed nodes
+// answer in O(1) from the digest stamped at construction (the fast path
+// below and in the Interner, which folds cached child digests).
 func DigestExpr(e Expr) Digest {
+	if h, ok := e.(*HExpr); ok {
+		return h.dig
+	}
 	h := sha256.New()
-	writeExprHash(h, e)
+	switch e := e.(type) {
+	case Id:
+		h.Write([]byte{tagId})
+	case Err:
+		h.Write([]byte{tagErr})
+	case Mkdir:
+		h.Write([]byte{tagMkdir})
+		writeString(h, string(e.Path))
+	case Creat:
+		h.Write([]byte{tagCreat})
+		writeString(h, string(e.Path))
+		writeString(h, e.Content)
+	case Rm:
+		h.Write([]byte{tagRm})
+		writeString(h, string(e.Path))
+	case Cp:
+		h.Write([]byte{tagCp})
+		writeString(h, string(e.Src))
+		writeString(h, string(e.Dst))
+	case Seq:
+		h.Write([]byte{tagSeq})
+		writeDigest(h, DigestExpr(e.E1))
+		writeDigest(h, DigestExpr(e.E2))
+	case If:
+		h.Write([]byte{tagIf})
+		writeDigest(h, DigestPred(e.A))
+		writeDigest(h, DigestExpr(e.Then))
+		writeDigest(h, DigestExpr(e.Else))
+	default:
+		panic("fs: unknown expression in DigestExpr")
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// DigestPred computes the canonical digest of a predicate, under the same
+// Merkle scheme (the tag space is shared with expressions, so expression
+// and predicate digests can never collide structurally).
+func DigestPred(a Pred) Digest {
+	if h, ok := a.(*HPred); ok {
+		return h.dig
+	}
+	h := sha256.New()
+	switch a := a.(type) {
+	case True:
+		h.Write([]byte{tagTrue})
+	case False:
+		h.Write([]byte{tagFalse})
+	case Not:
+		h.Write([]byte{tagNot})
+		writeDigest(h, DigestPred(a.P))
+	case And:
+		h.Write([]byte{tagAnd})
+		writeDigest(h, DigestPred(a.L))
+		writeDigest(h, DigestPred(a.R))
+	case Or:
+		h.Write([]byte{tagOr})
+		writeDigest(h, DigestPred(a.L))
+		writeDigest(h, DigestPred(a.R))
+	case IsFile:
+		h.Write([]byte{tagIsFile})
+		writeString(h, string(a.Path))
+	case IsDir:
+		h.Write([]byte{tagIsDir})
+		writeString(h, string(a.Path))
+	case IsEmptyDir:
+		h.Write([]byte{tagIsEmptyDir})
+		writeString(h, string(a.Path))
+	case IsNone:
+		h.Write([]byte{tagIsNone})
+		writeString(h, string(a.Path))
+	default:
+		panic("fs: unknown predicate in DigestPred")
+	}
 	var d Digest
 	h.Sum(d[:0])
 	return d
@@ -53,70 +133,6 @@ func writeString(h hash.Hash, s string) {
 	h.Write([]byte(s))
 }
 
-func writeExprHash(h hash.Hash, e Expr) {
-	switch e := e.(type) {
-	case Id:
-		h.Write([]byte{tagId})
-	case Err:
-		h.Write([]byte{tagErr})
-	case Mkdir:
-		h.Write([]byte{tagMkdir})
-		writeString(h, string(e.Path))
-	case Creat:
-		h.Write([]byte{tagCreat})
-		writeString(h, string(e.Path))
-		writeString(h, e.Content)
-	case Rm:
-		h.Write([]byte{tagRm})
-		writeString(h, string(e.Path))
-	case Cp:
-		h.Write([]byte{tagCp})
-		writeString(h, string(e.Src))
-		writeString(h, string(e.Dst))
-	case Seq:
-		h.Write([]byte{tagSeq})
-		writeExprHash(h, e.E1)
-		writeExprHash(h, e.E2)
-	case If:
-		h.Write([]byte{tagIf})
-		writePredHash(h, e.A)
-		writeExprHash(h, e.Then)
-		writeExprHash(h, e.Else)
-	default:
-		panic("fs: unknown expression in DigestExpr")
-	}
-}
-
-func writePredHash(h hash.Hash, a Pred) {
-	switch a := a.(type) {
-	case True:
-		h.Write([]byte{tagTrue})
-	case False:
-		h.Write([]byte{tagFalse})
-	case Not:
-		h.Write([]byte{tagNot})
-		writePredHash(h, a.P)
-	case And:
-		h.Write([]byte{tagAnd})
-		writePredHash(h, a.L)
-		writePredHash(h, a.R)
-	case Or:
-		h.Write([]byte{tagOr})
-		writePredHash(h, a.L)
-		writePredHash(h, a.R)
-	case IsFile:
-		h.Write([]byte{tagIsFile})
-		writeString(h, string(a.Path))
-	case IsDir:
-		h.Write([]byte{tagIsDir})
-		writeString(h, string(a.Path))
-	case IsEmptyDir:
-		h.Write([]byte{tagIsEmptyDir})
-		writeString(h, string(a.Path))
-	case IsNone:
-		h.Write([]byte{tagIsNone})
-		writeString(h, string(a.Path))
-	default:
-		panic("fs: unknown predicate in DigestExpr")
-	}
+func writeDigest(h hash.Hash, d Digest) {
+	h.Write(d[:])
 }

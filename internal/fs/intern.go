@@ -1,0 +1,281 @@
+package fs
+
+// Hash-consing for FS expressions. An Interner canonicalizes structurally
+// equal subtrees to a single immutable *HExpr/*HPred instance, stamped with
+// its structural digest at construction. Downstream layers build on node
+// identity: DigestExpr on an interned node is a pointer read (the qcache
+// key material that used to re-serialize whole trees), the symbolic engine
+// memoizes encode results per interned subtree, and the commutativity and
+// pruning analyses memoize summaries per interned node.
+//
+// Interned nodes are transparent to every consumer: *HExpr implements Expr
+// and *HPred implements Pred, and every structural walker in this
+// repository switches on Unwrap(e)/UnwrapPred(a), which peels exactly one
+// wrapper level. The children of an interned node's shallow node are
+// themselves interned, so recursion through Unwrap stays within canonical
+// nodes all the way down. Plain and interned trees are observationally
+// identical — same evaluation, same printing, same digests — which is what
+// lets the differential tests pin interned verdicts to the plain baseline.
+
+import "sync"
+
+// HExpr is a hash-consed expression: a canonical immutable instance of a
+// structurally unique subtree, carrying its precomputed digest. Within one
+// Interner, structural equality coincides with pointer equality.
+type HExpr struct {
+	node Expr // shallow node; child expressions/predicates are interned
+	dig  Digest
+}
+
+func (*HExpr) isExpr() {}
+
+// Node returns the shallow underlying node. Its children are themselves
+// interned (*HExpr/*HPred).
+func (h *HExpr) Node() Expr { return h.node }
+
+// Digest returns the precomputed structural digest, equal to DigestExpr of
+// the equivalent plain tree.
+func (h *HExpr) Digest() Digest { return h.dig }
+
+// HPred is the hash-consed counterpart for predicates.
+type HPred struct {
+	node Pred
+	dig  Digest
+}
+
+func (*HPred) isPred() {}
+
+// Node returns the shallow underlying predicate node.
+func (h *HPred) Node() Pred { return h.node }
+
+// Digest returns the precomputed structural digest of the predicate.
+func (h *HPred) Digest() Digest { return h.dig }
+
+// Unwrap peels one hash-consing wrapper, returning the shallow node of an
+// interned expression and any other expression unchanged. Every structural
+// type switch over Expr must switch on Unwrap(e).
+func Unwrap(e Expr) Expr {
+	if h, ok := e.(*HExpr); ok {
+		return h.node
+	}
+	return e
+}
+
+// UnwrapPred is Unwrap for predicates.
+func UnwrapPred(a Pred) Pred {
+	if h, ok := a.(*HPred); ok {
+		return h.node
+	}
+	return a
+}
+
+// exprKey identifies a shallow expression node up to structural equality of
+// the whole subtree: leaves by their literal fields, interior nodes by the
+// canonical pointers of their (already interned) children.
+type exprKey struct {
+	tag    byte
+	s1, s2 string
+	e1, e2 *HExpr
+	p      *HPred
+}
+
+// predKey is exprKey for predicates.
+type predKey struct {
+	tag    byte
+	s1     string
+	p1, p2 *HPred
+}
+
+// InternOpStats counts the node lookups of one Intern call: Hits are
+// subtrees already canonical (shared with earlier interned expressions),
+// Misses are nodes interned for the first time.
+type InternOpStats struct {
+	Hits, Misses int64
+}
+
+// InternerStats are the cumulative counters of an interner.
+type InternerStats struct {
+	Hits   int64 // node lookups answered by an existing canonical instance
+	Misses int64 // nodes interned for the first time
+	Nodes  int   // distinct canonical nodes currently held
+}
+
+// maxInternedNodes bounds an interner's tables. On overflow the tables are
+// cleared: previously returned nodes stay valid (they are self-contained),
+// later interning of equal structures just mints fresh canonical instances.
+// The bound is far above any real manifest's distinct-subtree count; it
+// exists so a pathological long-running process cannot grow without limit.
+const maxInternedNodes = 1 << 20
+
+// Interner canonicalizes expressions. Safe for concurrent use.
+type Interner struct {
+	mu     sync.Mutex
+	exprs  map[exprKey]*HExpr
+	preds  map[predKey]*HPred
+	hits   int64
+	misses int64
+}
+
+// NewInterner creates an empty interner.
+func NewInterner() *Interner {
+	return &Interner{
+		exprs: make(map[exprKey]*HExpr),
+		preds: make(map[predKey]*HPred),
+	}
+}
+
+// Intern returns the canonical instance of e, interning every subtree.
+// Passing an already interned expression is a no-op (and counts as a hit).
+func (in *Interner) Intern(e Expr) *HExpr {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.intern(e)
+}
+
+// InternPred returns the canonical instance of a.
+func (in *Interner) InternPred(a Pred) *HPred {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.internPred(a)
+}
+
+// InternWithStats is Intern plus the hit/miss delta of this call alone.
+func (in *Interner) InternWithStats(e Expr) (*HExpr, InternOpStats) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	h0, m0 := in.hits, in.misses
+	h := in.intern(e)
+	return h, InternOpStats{Hits: in.hits - h0, Misses: in.misses - m0}
+}
+
+// Stats returns the cumulative counters.
+func (in *Interner) Stats() InternerStats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return InternerStats{Hits: in.hits, Misses: in.misses, Nodes: len(in.exprs) + len(in.preds)}
+}
+
+// intern recursively canonicalizes; callers hold in.mu.
+func (in *Interner) intern(e Expr) *HExpr {
+	if h, ok := e.(*HExpr); ok {
+		in.hits++
+		return h
+	}
+	switch e := e.(type) {
+	case Id:
+		return in.get(exprKey{tag: tagId}, func() Expr { return Id{} })
+	case Err:
+		return in.get(exprKey{tag: tagErr}, func() Expr { return Err{} })
+	case Mkdir:
+		return in.get(exprKey{tag: tagMkdir, s1: string(e.Path)}, func() Expr { return e })
+	case Creat:
+		return in.get(exprKey{tag: tagCreat, s1: string(e.Path), s2: e.Content}, func() Expr { return e })
+	case Rm:
+		return in.get(exprKey{tag: tagRm, s1: string(e.Path)}, func() Expr { return e })
+	case Cp:
+		return in.get(exprKey{tag: tagCp, s1: string(e.Src), s2: string(e.Dst)}, func() Expr { return e })
+	case Seq:
+		e1 := in.intern(e.E1)
+		e2 := in.intern(e.E2)
+		return in.get(exprKey{tag: tagSeq, e1: e1, e2: e2}, func() Expr { return Seq{E1: e1, E2: e2} })
+	case If:
+		a := in.internPred(e.A)
+		t := in.intern(e.Then)
+		el := in.intern(e.Else)
+		return in.get(exprKey{tag: tagIf, p: a, e1: t, e2: el}, func() Expr { return If{A: a, Then: t, Else: el} })
+	default:
+		panic("fs: unknown expression in Intern")
+	}
+}
+
+func (in *Interner) internPred(a Pred) *HPred {
+	if h, ok := a.(*HPred); ok {
+		in.hits++
+		return h
+	}
+	switch a := a.(type) {
+	case True:
+		return in.getPred(predKey{tag: tagTrue}, func() Pred { return True{} })
+	case False:
+		return in.getPred(predKey{tag: tagFalse}, func() Pred { return False{} })
+	case Not:
+		p := in.internPred(a.P)
+		return in.getPred(predKey{tag: tagNot, p1: p}, func() Pred { return Not{P: p} })
+	case And:
+		l := in.internPred(a.L)
+		r := in.internPred(a.R)
+		return in.getPred(predKey{tag: tagAnd, p1: l, p2: r}, func() Pred { return And{L: l, R: r} })
+	case Or:
+		l := in.internPred(a.L)
+		r := in.internPred(a.R)
+		return in.getPred(predKey{tag: tagOr, p1: l, p2: r}, func() Pred { return Or{L: l, R: r} })
+	case IsFile:
+		return in.getPred(predKey{tag: tagIsFile, s1: string(a.Path)}, func() Pred { return a })
+	case IsDir:
+		return in.getPred(predKey{tag: tagIsDir, s1: string(a.Path)}, func() Pred { return a })
+	case IsEmptyDir:
+		return in.getPred(predKey{tag: tagIsEmptyDir, s1: string(a.Path)}, func() Pred { return a })
+	case IsNone:
+		return in.getPred(predKey{tag: tagIsNone, s1: string(a.Path)}, func() Pred { return a })
+	default:
+		panic("fs: unknown predicate in Intern")
+	}
+}
+
+// get returns the canonical node for k, building and digesting it on first
+// sight. The digest of the shallow node folds the children's cached
+// digests, so construction is O(1) per new node and the digest equals the
+// plain tree's (the Merkle scheme of digest.go).
+func (in *Interner) get(k exprKey, build func() Expr) *HExpr {
+	if h, ok := in.exprs[k]; ok {
+		in.hits++
+		return h
+	}
+	in.evictIfFull()
+	node := build()
+	h := &HExpr{node: node, dig: DigestExpr(node)}
+	in.exprs[k] = h
+	in.misses++
+	return h
+}
+
+func (in *Interner) getPred(k predKey, build func() Pred) *HPred {
+	if h, ok := in.preds[k]; ok {
+		in.hits++
+		return h
+	}
+	in.evictIfFull()
+	node := build()
+	h := &HPred{node: node, dig: DigestPred(node)}
+	in.preds[k] = h
+	in.misses++
+	return h
+}
+
+func (in *Interner) evictIfFull() {
+	if len(in.exprs)+len(in.preds) >= maxInternedNodes {
+		in.exprs = make(map[exprKey]*HExpr)
+		in.preds = make(map[predKey]*HPred)
+	}
+}
+
+// defaultInterner backs the package-level functions: one process-wide
+// canonical node space, so pointer-keyed memos (sym sessions, commute and
+// prune summaries) hit across independently loaded manifests that share
+// resource models.
+var defaultInterner = NewInterner()
+
+// DefaultInterner returns the process-wide interner.
+func DefaultInterner() *Interner { return defaultInterner }
+
+// Intern canonicalizes e in the process-wide interner.
+func Intern(e Expr) *HExpr { return defaultInterner.Intern(e) }
+
+// InternPred canonicalizes a in the process-wide interner.
+func InternPred(a Pred) *HPred { return defaultInterner.InternPred(a) }
+
+// InternWithStats canonicalizes e in the process-wide interner, returning
+// this call's hit/miss delta.
+func InternWithStats(e Expr) (*HExpr, InternOpStats) {
+	return defaultInterner.InternWithStats(e)
+}

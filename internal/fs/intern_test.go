@@ -1,0 +1,168 @@
+package fs
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestInternCanonical: structurally equal trees intern to the same pointer,
+// distinct trees to distinct pointers.
+func TestInternCanonical(t *testing.T) {
+	in := NewInterner()
+	a := Seq{E1: Mkdir{Path: "/a"}, E2: Creat{Path: "/a/b", Content: "x"}}
+	b := Seq{E1: Mkdir{Path: "/a"}, E2: Creat{Path: "/a/b", Content: "x"}}
+	c := Seq{E1: Mkdir{Path: "/a"}, E2: Creat{Path: "/a/b", Content: "y"}}
+	ha, hb, hc := in.Intern(a), in.Intern(b), in.Intern(c)
+	if ha != hb {
+		t.Fatalf("structurally equal trees interned to distinct nodes")
+	}
+	if ha == hc {
+		t.Fatalf("distinct trees interned to the same node")
+	}
+	if in.Intern(ha) != ha {
+		t.Fatalf("re-interning an interned node is not the identity")
+	}
+}
+
+// TestInternSharesSubtrees: a shared subtree appearing under two different
+// roots is one canonical node, and interning the second root hits it.
+func TestInternSharesSubtrees(t *testing.T) {
+	in := NewInterner()
+	shared := MkdirIfMissing("/usr/lib")
+	r1 := Seq{E1: shared, E2: Creat{Path: "/usr/lib/a", Content: "a"}}
+	r2 := Seq{E1: shared, E2: Creat{Path: "/usr/lib/b", Content: "b"}}
+	h1, st1 := in.InternWithStats(r1)
+	h2, st2 := in.InternWithStats(r2)
+	if st1.Hits != 0 {
+		t.Fatalf("first intern reported %d hits; want 0", st1.Hits)
+	}
+	if st2.Hits == 0 {
+		t.Fatalf("second intern with a shared subtree reported no hits")
+	}
+	u1 := Unwrap(h1).(Seq)
+	u2 := Unwrap(h2).(Seq)
+	if u1.E1 != u2.E1 {
+		t.Fatalf("shared subtree not canonicalized to one node")
+	}
+}
+
+// TestInternDigestMatchesPlain: the stamped digest equals DigestExpr of the
+// plain tree, for random expressions.
+func TestInternDigestMatchesPlain(t *testing.T) {
+	in := NewInterner()
+	cfg := DefaultGenConfig()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		e := GenExpr(r, cfg, 5)
+		h := in.Intern(e)
+		if h.Digest() != DigestExpr(e) {
+			t.Fatalf("interned digest differs from plain digest for %s", String(e))
+		}
+		if DigestExpr(h) != DigestExpr(e) {
+			t.Fatalf("DigestExpr(interned) differs from DigestExpr(plain)")
+		}
+	}
+}
+
+// TestInternTransparent: every observation of an interned tree — size,
+// printing, paths, contents, domain, evaluation — matches the plain tree.
+func TestInternTransparent(t *testing.T) {
+	cfg := DefaultGenConfig()
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		e := GenExpr(r, cfg, 5)
+		h := Intern(e)
+		if Size(h) != Size(e) {
+			t.Fatalf("Size differs: %d vs %d", Size(h), Size(e))
+		}
+		if String(h) != String(e) {
+			t.Fatalf("String differs:\n%s\n%s", String(h), String(e))
+		}
+		if !reflect.DeepEqual(ExprPaths(h), ExprPaths(e)) {
+			t.Fatalf("ExprPaths differs for %s", String(e))
+		}
+		if !reflect.DeepEqual(Contents(h), Contents(e)) {
+			t.Fatalf("Contents differs for %s", String(e))
+		}
+		if !reflect.DeepEqual(Dom(h), Dom(e)) {
+			t.Fatalf("Dom differs for %s", String(e))
+		}
+		for j := 0; j < 5; j++ {
+			s := GenState(r, cfg)
+			o1, ok1 := Eval(h, s)
+			o2, ok2 := Eval(e, s)
+			if ok1 != ok2 || (ok1 && !o1.Equal(o2)) {
+				t.Fatalf("Eval differs on %s from %s", String(e), StateString(s))
+			}
+		}
+	}
+}
+
+// TestInternPredTransparent mirrors TestInternTransparent for predicates.
+func TestInternPredTransparent(t *testing.T) {
+	cfg := DefaultGenConfig()
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		a := GenPred(r, cfg, 4)
+		h := InternPred(a)
+		if PredString(h) != PredString(a) {
+			t.Fatalf("PredString differs")
+		}
+		if DigestPred(h) != DigestPred(a) {
+			t.Fatalf("DigestPred differs")
+		}
+		if !reflect.DeepEqual(PredPaths(h), PredPaths(a)) {
+			t.Fatalf("PredPaths differs")
+		}
+		for j := 0; j < 5; j++ {
+			s := GenState(r, cfg)
+			if EvalPred(h, s) != EvalPred(a, s) {
+				t.Fatalf("EvalPred differs on %s", PredString(a))
+			}
+		}
+	}
+}
+
+// TestInternConcurrent: concurrent interning of overlapping trees always
+// converges to one canonical pointer per structure.
+func TestInternConcurrent(t *testing.T) {
+	in := NewInterner()
+	cfg := DefaultGenConfig()
+	exprs := make([]Expr, 64)
+	r := rand.New(rand.NewSource(17))
+	for i := range exprs {
+		exprs[i] = GenExpr(r, cfg, 4)
+	}
+	results := make([][]*HExpr, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < len(results); w++ {
+		w := w
+		results[w] = make([]*HExpr, len(exprs))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, e := range exprs {
+				results[w][i] = in.Intern(e)
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < len(results); w++ {
+		for i := range exprs {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("goroutine %d interned expr %d to a different node", w, i)
+			}
+		}
+	}
+}
+
+// TestSeqAllUnwrapsInterned: SeqAll drops interned no-ops like plain ones.
+func TestSeqAllUnwrapsInterned(t *testing.T) {
+	id := Intern(Id{})
+	mk := Intern(Mkdir{Path: "/a"})
+	if got := SeqAll(id, mk, id); DigestExpr(got) != mk.Digest() {
+		t.Fatalf("SeqAll with interned ids = %s; want mkdir(/a)", String(got))
+	}
+}

@@ -1,0 +1,97 @@
+package prune
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/fs"
+)
+
+// sharedPrefixRoots mirrors the package-model shape: n roots over one deep
+// guarded-mkdir prefix plus a distinct definitive file write each.
+func sharedPrefixRoots(n, depth int) []fs.Expr {
+	prefix := fs.Expr(fs.Id{})
+	p := ""
+	for i := 0; i < depth; i++ {
+		p += fmt.Sprintf("/s%d", i)
+		prefix = fs.Seq{E1: prefix, E2: fs.MkdirIfMissing(fs.ParsePath(p))}
+	}
+	roots := make([]fs.Expr, n)
+	for i := range roots {
+		leaf := fs.Creat{Path: fs.ParsePath(fmt.Sprintf("%s/cfg%d", p, i)), Content: "v"}
+		roots[i] = fs.Seq{E1: prefix, E2: leaf}
+	}
+	return roots
+}
+
+// TestDefinitiveMemoDeepSharing: definitive-write maps of interned roots
+// are memoized per canonical node, re-queries are pure hits, and the cached
+// maps equal the uncached plain-tree interpretation. Each caller gets a
+// private clone, so mutating a result cannot poison the memo.
+func TestDefinitiveMemoDeepSharing(t *testing.T) {
+	roots := sharedPrefixRoots(5, 30)
+	interned := make([]*fs.HExpr, len(roots))
+	for i, r := range roots {
+		interned[i] = fs.Intern(r)
+	}
+	_, m0 := DefinitiveMemoStats()
+	first := make([]map[fs.Path]AbsValue, len(interned))
+	for i, h := range interned {
+		first[i] = DefinitiveWrites(h)
+	}
+	_, m1 := DefinitiveMemoStats()
+	if misses := m1 - m0; misses != int64(len(interned)) {
+		t.Fatalf("first pass recorded %d memo misses; want %d", misses, len(interned))
+	}
+	h1, _ := DefinitiveMemoStats()
+	for i, h := range interned {
+		again := DefinitiveWrites(h)
+		if !reflect.DeepEqual(again, first[i]) {
+			t.Fatalf("re-query of root %d returned a different map", i)
+		}
+	}
+	h2, m2 := DefinitiveMemoStats()
+	if hits := h2 - h1; hits != int64(len(interned)) {
+		t.Errorf("re-query recorded %d memo hits; want %d", hits, len(interned))
+	}
+	if m2 != m1 {
+		t.Errorf("re-query recorded %d new misses; want 0", m2-m1)
+	}
+	for i, r := range roots {
+		if plain := DefinitiveWrites(r); !reflect.DeepEqual(first[i], plain) {
+			t.Errorf("root %d: memoized definitive writes diverge from plain:\nmemo:  %v\nplain: %v",
+				i, first[i], plain)
+		}
+	}
+	// Clone isolation: corrupting a returned map must not reach the memo.
+	victim := DefinitiveWrites(interned[0])
+	for p := range victim {
+		victim[p] = AbsValue{Kind: AbsTop}
+	}
+	if fresh := DefinitiveWrites(interned[0]); !reflect.DeepEqual(fresh, first[0]) {
+		t.Error("mutating a returned map corrupted the memoized copy")
+	}
+}
+
+// TestPruneOnInternedTrees: the pruning partial evaluator accepts interned
+// input and produces results equivalent to pruning the plain tree.
+func TestPruneOnInternedTrees(t *testing.T) {
+	roots := sharedPrefixRoots(3, 10)
+	for i, r := range roots {
+		h := fs.Intern(r)
+		target := fs.ParsePath(fmt.Sprintf("/s0/s1/s2/s3/s4/s5/s6/s7/s8/s9/cfg%d", i))
+		plainOut, plainOK := Prune(target, r)
+		internOut, internOK := Prune(target, h)
+		if plainOK != internOK {
+			t.Fatalf("root %d: prune ok=%v on plain, %v on interned", i, plainOK, internOK)
+		}
+		if !plainOK {
+			continue
+		}
+		if fs.DigestExpr(plainOut) != fs.DigestExpr(internOut) {
+			t.Errorf("root %d: pruned results differ:\nplain:    %s\ninterned: %s",
+				i, fs.String(plainOut), fs.String(internOut))
+		}
+	}
+}

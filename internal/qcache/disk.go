@@ -1,0 +1,296 @@
+package qcache
+
+// The on-disk verdict tier: a directory of content-addressed files, one
+// per (expression pair, budget) key, carrying a single boolean verdict.
+// Repeated CLI runs and the benchmark suite warm-start from it with zero
+// solver calls. The format is deliberately trivial:
+//
+//	<scheme version line>
+//	commutes | conflicts
+//
+// Writes go through a temp file plus rename, so a reader (or a crashed
+// writer) can never observe a torn verdict. Every file embeds
+// DiskSchemeVersion, which names the digest scheme, the symbolic encoding
+// and the solver revision the verdict depends on: a verdict is only as
+// durable as the semantics that produced it, so bumping any of those
+// layers must orphan the whole store. A mismatched file is deleted on
+// first touch and counted as Invalidated.
+//
+// The tier is LRU-bounded by a byte budget: the in-memory index is seeded
+// from a directory scan at open (oldest modification time first) and
+// every hit refreshes the file's mtime best-effort, so recency survives
+// process restarts.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DiskSchemeVersion identifies every layer a stored verdict depends on:
+// the cache file format, the expression digest scheme (fs.DigestExpr), the
+// symbolic encoding (internal/sym, figure 7) and the solver backend.
+// Changing any of them invalidates every stored verdict — readers delete
+// files whose header does not match byte-for-byte.
+const DiskSchemeVersion = "qcache/1 digest=merkle-sha256/1 encode=fig7-enum/1 solver=cdcl-incremental/2"
+
+// DefaultDiskBudget bounds the tier at 32 MiB — roughly half a million
+// verdict files, far beyond any benchmark suite, while keeping a shared
+// cache directory from growing without limit.
+const DefaultDiskBudget = 32 << 20
+
+// diskExt is the verdict file extension; foreign files in the directory
+// are ignored.
+const diskExt = ".qv"
+
+// DiskStats snapshots the tier's counters.
+type DiskStats struct {
+	Hits        int64 // lookups answered from disk
+	Misses      int64 // lookups with no usable file
+	Writes      int64 // verdicts stored
+	Evictions   int64 // files removed by the byte budget
+	Invalidated int64 // files deleted for a stale scheme version
+	Files       int   // verdict files currently indexed
+	Bytes       int64 // bytes currently indexed
+}
+
+// diskEntry is one verdict file on the LRU list (front = most recent).
+type diskEntry struct {
+	name string
+	size int64
+}
+
+// Disk is the on-disk tier. Safe for concurrent use within a process;
+// across processes, atomic renames keep concurrent writers safe and a
+// fresh open re-scans the directory.
+type Disk struct {
+	dir    string
+	budget int64
+
+	mu     sync.Mutex
+	byName map[string]*list.Element
+	lru    *list.List // of *diskEntry
+	bytes  int64
+	stats  DiskStats
+}
+
+// OpenDisk opens (creating if needed) the verdict store in dir, bounded at
+// budget bytes (<= 0 means DefaultDiskBudget). Existing verdict files are
+// indexed oldest-first so eviction preserves the hottest entries.
+func OpenDisk(dir string, budget int64) (*Disk, error) {
+	if budget <= 0 {
+		budget = DefaultDiskBudget
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Disk{
+		dir:    dir,
+		budget: budget,
+		byName: make(map[string]*list.Element),
+		lru:    list.New(),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type aged struct {
+		name string
+		size int64
+		mod  time.Time
+	}
+	var found []aged
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), diskExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, aged{name: e.Name(), size: info.Size(), mod: info.ModTime()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mod.Before(found[j].mod) })
+	for _, f := range found {
+		d.byName[f.name] = d.lru.PushFront(&diskEntry{name: f.name, size: f.size})
+		d.bytes += f.size
+	}
+	d.evictLocked()
+	return d, nil
+}
+
+// Dir returns the store's directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// fileName content-addresses a key: the hex sha256 of its digest pair and
+// budget. The key material is already collision-resistant, so the file
+// name identifies the query exactly.
+func (k Key) fileName() string {
+	h := sha256.New()
+	h.Write(k.lo[:])
+	h.Write(k.hi[:])
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(k.budget))
+	h.Write(b[:])
+	return hex.EncodeToString(h.Sum(nil)) + diskExt
+}
+
+// Lookup reads the stored verdict for key, if a current-scheme file holds
+// one. A hit refreshes the entry's recency (and, best-effort, the file's
+// mtime, so recency survives restarts).
+func (d *Disk) Lookup(key Key) (val, ok bool) {
+	name := key.fileName()
+	path := filepath.Join(d.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		d.mu.Lock()
+		d.dropLocked(name)
+		d.stats.Misses++
+		d.mu.Unlock()
+		return false, false
+	}
+	header, verdict, valid := parseVerdictFile(data)
+	if !valid || header != DiskSchemeVersion {
+		os.Remove(path)
+		d.mu.Lock()
+		d.dropLocked(name)
+		d.stats.Invalidated++
+		d.stats.Misses++
+		d.mu.Unlock()
+		return false, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	d.mu.Lock()
+	if el, indexed := d.byName[name]; indexed {
+		d.lru.MoveToFront(el)
+	} else { // written by another process since open
+		d.byName[name] = d.lru.PushFront(&diskEntry{name: name, size: int64(len(data))})
+		d.bytes += int64(len(data))
+		d.evictLocked()
+	}
+	d.stats.Hits++
+	d.mu.Unlock()
+	return verdict, true
+}
+
+// Store writes the verdict for key atomically (temp file + rename) and
+// evicts least-recently-used files beyond the byte budget. Failures are
+// swallowed: the disk tier is an accelerator, never a correctness
+// dependency.
+func (d *Disk) Store(key Key, val bool) {
+	name := key.fileName()
+	word := "conflicts"
+	if val {
+		word = "commutes"
+	}
+	content := DiskSchemeVersion + "\n" + word + "\n"
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.WriteString(content); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(d.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	d.mu.Lock()
+	d.dropLocked(name) // replaced in place: refresh size and recency
+	d.byName[name] = d.lru.PushFront(&diskEntry{name: name, size: int64(len(content))})
+	d.bytes += int64(len(content))
+	d.stats.Writes++
+	d.evictLocked()
+	d.mu.Unlock()
+}
+
+// StatsSnapshot returns the tier's counters plus live size.
+func (d *Disk) StatsSnapshot() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.Files = d.lru.Len()
+	s.Bytes = d.bytes
+	return s
+}
+
+// dropLocked removes name from the index (not from disk). Callers hold
+// d.mu.
+func (d *Disk) dropLocked(name string) {
+	if el, ok := d.byName[name]; ok {
+		d.bytes -= el.Value.(*diskEntry).size
+		d.lru.Remove(el)
+		delete(d.byName, name)
+	}
+}
+
+// evictLocked removes least-recently-used files until the byte budget
+// holds. Callers hold d.mu.
+func (d *Disk) evictLocked() {
+	for d.bytes > d.budget && d.lru.Len() > 0 {
+		oldest := d.lru.Back()
+		e := oldest.Value.(*diskEntry)
+		d.lru.Remove(oldest)
+		delete(d.byName, e.name)
+		d.bytes -= e.size
+		os.Remove(filepath.Join(d.dir, e.name))
+		d.stats.Evictions++
+	}
+}
+
+// parseVerdictFile splits a verdict file into header and verdict.
+func parseVerdictFile(data []byte) (header string, val, ok bool) {
+	text := string(data)
+	line, rest, found := strings.Cut(text, "\n")
+	if !found {
+		return "", false, false
+	}
+	switch strings.TrimSuffix(rest, "\n") {
+	case "commutes":
+		return line, true, true
+	case "conflicts":
+		return line, false, true
+	}
+	return line, false, false
+}
+
+// The process-wide store registry: one Disk per directory, so every check
+// pointed at the same -cache-dir shares one index and one byte budget.
+var (
+	disksMu sync.Mutex
+	disks   = make(map[string]*Disk)
+)
+
+// OpenDiskShared returns the process-wide store for dir, opening it with
+// the default budget on first use.
+func OpenDiskShared(dir string) (*Disk, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	disksMu.Lock()
+	defer disksMu.Unlock()
+	if d, ok := disks[abs]; ok {
+		return d, nil
+	}
+	d, err := OpenDisk(abs, 0)
+	if err != nil {
+		return nil, err
+	}
+	disks[abs] = d
+	return d, nil
+}

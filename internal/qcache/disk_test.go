@@ -1,0 +1,236 @@
+package qcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoDropsFailedComputation is the regression test for error poisoning:
+// a failed compute must not publish a verdict, so the next caller retries
+// and gets the real answer.
+func TestDoDropsFailedComputation(t *testing.T) {
+	c := New()
+	d := digests(2)
+	key := PairKey(d[0], d[1], 1)
+	boom := errors.New("solver timeout")
+	if _, _, err := c.Do(key, func() (bool, error) { return false, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first call err = %v, want %v", err, boom)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed computation was cached (len=%d)", c.Len())
+	}
+	if _, ok := c.Lookup(key); ok {
+		t.Fatal("Lookup sees a verdict after a failed compute")
+	}
+	v, src, err := c.Do(key, func() (bool, error) { return true, nil })
+	if err != nil || !v || src != SrcComputed {
+		t.Fatalf("retry: v=%v src=%v err=%v, want computed true", v, src, err)
+	}
+	if v, src, err := c.Do(key, func() (bool, error) { return false, nil }); !v || src != SrcMemory || err != nil {
+		t.Fatalf("after retry: v=%v src=%v err=%v, want memory-cached true", v, src, err)
+	}
+}
+
+// TestDoCoalescedSeeLeaderError: waiters coalesced behind a failing leader
+// receive the error, and none of them poisons the table either.
+func TestDoCoalescedSeeLeaderError(t *testing.T) {
+	c := New()
+	d := digests(2)
+	key := PairKey(d[0], d[1], 1)
+	boom := errors.New("budget exhausted")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.Do(key, func() (bool, error) {
+			close(entered)
+			<-release
+			return false, boom
+		})
+		if errors.Is(err, boom) {
+			errs.Add(1)
+		}
+	}()
+	<-entered
+	const waiters = 8
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, src, err := c.Do(key, func() (bool, error) { return false, boom })
+			// A waiter sees the leader's error; a straggler that became a
+			// fresh leader runs compute itself and fails the same way.
+			if errors.Is(err, boom) {
+				errs.Add(1)
+			} else {
+				t.Errorf("waiter got err=%v src=%v, want the leader error", err, src)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if errs.Load() != waiters+1 {
+		t.Errorf("%d of %d callers saw the error", errs.Load(), waiters+1)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed singleflight cached %d verdicts", c.Len())
+	}
+}
+
+func testKeys(n int) []Key {
+	ds := digests(n)
+	out := make([]Key, n)
+	for i := range out {
+		out[i] = PairKey(ds[i], ds[i], 1)
+	}
+	return out
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := testKeys(2)
+	d.Store(ks[0], true)
+	d.Store(ks[1], false)
+	if v, ok := d.Lookup(ks[0]); !ok || !v {
+		t.Fatalf("lookup k0 = %v %v", v, ok)
+	}
+	if v, ok := d.Lookup(ks[1]); !ok || v {
+		t.Fatalf("lookup k1 = %v %v", v, ok)
+	}
+
+	// A fresh open over the same directory sees the stored verdicts: the
+	// warm-start path across CLI runs.
+	d2, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d2.Lookup(ks[0]); !ok || !v {
+		t.Fatalf("reopened lookup k0 = %v %v", v, ok)
+	}
+	st := d2.StatsSnapshot()
+	if st.Files != 2 || st.Hits != 1 {
+		t.Fatalf("reopened stats = %+v", st)
+	}
+}
+
+// TestDiskSchemeInvalidation: a verdict written under a different scheme
+// version is deleted on first touch and reported as a miss.
+func TestDiskSchemeInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKeys(1)[0]
+	stale := "qcache/0 some-older-scheme\ncommutes\n"
+	path := filepath.Join(dir, k.fileName())
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Lookup(k); ok {
+		t.Fatal("stale-scheme verdict served")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale-scheme file not deleted")
+	}
+	if st := d.StatsSnapshot(); st.Invalidated != 1 {
+		t.Fatalf("stats = %+v, want Invalidated=1", st)
+	}
+}
+
+// TestDiskByteBudget: the store evicts oldest files beyond the budget.
+func TestDiskByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	oneFile := int64(len(DiskSchemeVersion) + 1 + len("conflicts") + 1)
+	d, err := OpenDisk(dir, 3*oneFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := testKeys(8)
+	for _, k := range ks {
+		d.Store(k, false)
+	}
+	st := d.StatsSnapshot()
+	if st.Files != 3 {
+		t.Fatalf("files = %d, want 3 (budget %d bytes)", st.Files, 3*oneFile)
+	}
+	if st.Evictions != int64(len(ks)-3) {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, len(ks)-3)
+	}
+	entries, _ := os.ReadDir(dir)
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), diskExt) {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("%d verdict files on disk, want 3", n)
+	}
+	// The most recent writes survived.
+	for _, k := range ks[len(ks)-3:] {
+		if _, ok := d.Lookup(k); !ok {
+			t.Fatal("recently stored verdict evicted")
+		}
+	}
+}
+
+// TestCacheDiskTier: a cache with an attached disk tier writes computed
+// verdicts through and a second cache (fresh memory, same directory) is
+// answered from disk without computing.
+func TestCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := testKeys(3)
+	warm := New()
+	warm.AttachDisk(disk)
+	for i, k := range ks {
+		want := i%2 == 0
+		if v, src, err := warm.Do(k, func() (bool, error) { return want, nil }); v != want || src != SrcComputed || err != nil {
+			t.Fatalf("warm-up %d: v=%v src=%v err=%v", i, v, src, err)
+		}
+	}
+
+	cold := New() // fresh memory tier, same disk
+	cold.AttachDisk(disk)
+	computes := 0
+	for i, k := range ks {
+		want := i%2 == 0
+		v, src, err := cold.Do(k, func() (bool, error) { computes++; return !want, nil })
+		if err != nil || src != SrcDisk || v != want {
+			t.Fatalf("cold %d: v=%v src=%v err=%v, want disk-served %v", i, v, src, err, want)
+		}
+	}
+	if computes != 0 {
+		t.Fatalf("disk-warm run computed %d times", computes)
+	}
+	// Disk hits are published to the memory tier: the next read is memory.
+	if _, src, _ := cold.Do(ks[0], func() (bool, error) { return false, nil }); src != SrcMemory {
+		t.Fatalf("after disk hit, src = %v, want memory", src)
+	}
+	if st := cold.StatsSnapshot(); st.DiskHits != int64(len(ks)) {
+		t.Fatalf("stats = %+v, want DiskHits=%d", st, len(ks))
+	}
+	// Failed computes are not written through either.
+	boom := errors.New("x")
+	kf := PairKey(digests(5)[4], digests(5)[4], 9)
+	cold.Do(kf, func() (bool, error) { return false, boom })
+	if _, ok := disk.Lookup(kf); ok {
+		t.Fatal("failed compute reached the disk tier")
+	}
+}

@@ -49,15 +49,44 @@ type Stats struct {
 	Hits      int64 // calls answered from the completed-verdict table
 	Misses    int64 // calls that ran the compute function
 	Coalesced int64 // calls that waited on another caller's in-flight query
+	DiskHits  int64 // calls answered by the on-disk tier (AttachDisk)
 	Evictions int64 // verdicts dropped by the LRU bound
 	Size      int   // completed verdicts currently held
 	Cap       int   // configured bound; 0 means unbounded
+}
+
+// Source says where a Do verdict came from.
+type Source uint8
+
+// The verdict sources, cheapest first. Everything except SrcComputed was
+// served without running compute in the calling goroutine.
+const (
+	SrcComputed  Source = iota // compute ran in this call
+	SrcMemory                  // completed-verdict table
+	SrcCoalesced               // waited on another caller's in-flight query
+	SrcDisk                    // read from the on-disk tier
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcComputed:
+		return "computed"
+	case SrcMemory:
+		return "memory"
+	case SrcCoalesced:
+		return "coalesced"
+	case SrcDisk:
+		return "disk"
+	default:
+		return "unknown"
+	}
 }
 
 // call tracks one in-flight computation.
 type call struct {
 	done chan struct{}
 	val  bool
+	err  error
 }
 
 // entry is one completed verdict on the LRU list (front = most recent).
@@ -81,6 +110,7 @@ type Cache struct {
 	done     map[Key]*list.Element
 	lru      *list.List // of *entry, front = most recently used
 	inflight map[Key]*call
+	disk     *Disk // optional second tier; nil: memory only
 	stats    Stats
 }
 
@@ -125,39 +155,71 @@ var shared = New()
 // in this process.
 func Shared() *Cache { return shared }
 
+// AttachDisk adds an on-disk second tier: memory misses consult the disk
+// before computing, and computed verdicts are written through. Attaching
+// nil detaches the tier.
+func (c *Cache) AttachDisk(d *Disk) {
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+}
+
 // Do returns the cached verdict for key, computing it with compute on a
 // miss. Concurrent calls for the same key run compute exactly once; the
-// others block until the leader finishes. hit reports whether the verdict
-// was served without running compute in this call (either from the
-// completed table or by waiting on an in-flight leader).
-func (c *Cache) Do(key Key, compute func() bool) (val, hit bool) {
+// others block until the leader finishes. src says where the verdict came
+// from; anything but SrcComputed means this call did not run the solver.
+//
+// A failed compute (transient solver timeout, budget exhaustion surfaced
+// as an error) is NOT cached: the error propagates to this caller and any
+// coalesced waiters, the in-flight entry is dropped, and the next call for
+// the key computes afresh. Before this rule, a single transient failure
+// poisoned the verdict for every later caller.
+func (c *Cache) Do(key Key, compute func() (bool, error)) (val bool, src Source, err error) {
 	c.mu.Lock()
 	if el, ok := c.done[key]; ok {
 		c.stats.Hits++
 		c.lru.MoveToFront(el)
 		v := el.Value.(*entry).val
 		c.mu.Unlock()
-		return v, true
+		return v, SrcMemory, nil
 	}
 	if cl, ok := c.inflight[key]; ok {
 		c.stats.Coalesced++
 		c.mu.Unlock()
 		<-cl.done
-		return cl.val, true
+		return cl.val, SrcCoalesced, cl.err
 	}
 	cl := &call{done: make(chan struct{})}
 	c.inflight[key] = cl
-	c.stats.Misses++
+	disk := c.disk
 	c.mu.Unlock()
 
-	cl.val = compute()
+	src = SrcComputed
+	if disk != nil {
+		if v, ok := disk.Lookup(key); ok {
+			cl.val, src = v, SrcDisk
+		}
+	}
+	if src == SrcComputed {
+		cl.val, cl.err = compute()
+	}
 
 	c.mu.Lock()
-	c.insert(key, cl.val)
+	if cl.err == nil {
+		c.insert(key, cl.val)
+		if src == SrcDisk {
+			c.stats.DiskHits++
+		} else {
+			c.stats.Misses++
+		}
+	}
 	delete(c.inflight, key)
 	c.mu.Unlock()
 	close(cl.done)
-	return cl.val, false
+	if cl.err == nil && src == SrcComputed && disk != nil {
+		disk.Store(key, cl.val) // write-through; best-effort
+	}
+	return cl.val, src, cl.err
 }
 
 // Lookup returns the cached verdict without computing. A found verdict

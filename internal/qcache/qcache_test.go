@@ -37,12 +37,12 @@ func TestCacheMemoizes(t *testing.T) {
 	d := digests(2)
 	key := PairKey(d[0], d[1], 1)
 	calls := 0
-	compute := func() bool { calls++; return true }
-	if v, hit := c.Do(key, compute); !v || hit {
-		t.Errorf("first call: v=%v hit=%v", v, hit)
+	compute := func() (bool, error) { calls++; return true, nil }
+	if v, src, err := c.Do(key, compute); !v || src != SrcComputed || err != nil {
+		t.Errorf("first call: v=%v src=%v err=%v", v, src, err)
 	}
-	if v, hit := c.Do(key, compute); !v || !hit {
-		t.Errorf("second call: v=%v hit=%v", v, hit)
+	if v, src, err := c.Do(key, compute); !v || src != SrcMemory || err != nil {
+		t.Errorf("second call: v=%v src=%v err=%v", v, src, err)
 	}
 	if calls != 1 {
 		t.Errorf("compute ran %d times", calls)
@@ -78,9 +78,9 @@ func TestCacheSingleflight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-gate
-			v, _ := c.Do(key, func() bool {
+			v, _, _ := c.Do(key, func() (bool, error) {
 				computes.Add(1)
-				return true
+				return true, nil
 			})
 			if !v {
 				t.Error("wrong value")
@@ -114,7 +114,7 @@ func TestCacheStress(t *testing.T) {
 				// so every caller — first or cached — must see the same
 				// value regardless of argument order or interleaving.
 				want := (int(a[0])+int(b[0]))%2 == 0
-				got, _ := c.Do(PairKey(a, b, 1), func() bool { return want })
+				got, _, _ := c.Do(PairKey(a, b, 1), func() (bool, error) { return want, nil })
 				if got != want {
 					t.Errorf("inconsistent verdict for pair")
 					return
@@ -188,7 +188,7 @@ func TestCacheBounded(t *testing.T) {
 	c := NewWithCap(cap)
 	ds := digests(100)
 	for i, d := range ds {
-		c.Do(PairKey(d, d, 1), func() bool { return true })
+		c.Do(PairKey(d, d, 1), func() (bool, error) { return true, nil })
 		if c.Len() > cap {
 			t.Fatalf("after %d inserts cache holds %d verdicts, cap %d", i+1, c.Len(), cap)
 		}
@@ -218,13 +218,13 @@ func TestCacheLRUOrder(t *testing.T) {
 	c := NewWithCap(2)
 	ds := digests(3)
 	k := func(i int) Key { return PairKey(ds[i], ds[i], 1) }
-	c.Do(k(0), func() bool { return true })
-	c.Do(k(1), func() bool { return true })
+	c.Do(k(0), func() (bool, error) { return true, nil })
+	c.Do(k(1), func() (bool, error) { return true, nil })
 	// Touch k0 so k1 becomes the eviction victim.
 	if _, ok := c.Lookup(k(0)); !ok {
 		t.Fatal("k0 missing before eviction")
 	}
-	c.Do(k(2), func() bool { return true })
+	c.Do(k(2), func() (bool, error) { return true, nil })
 	if _, ok := c.Lookup(k(0)); !ok {
 		t.Error("recently used verdict was evicted")
 	}
@@ -237,7 +237,7 @@ func TestCacheUnbounded(t *testing.T) {
 	c := NewWithCap(0)
 	ds := digests(64)
 	for _, d := range ds {
-		c.Do(PairKey(d, d, 1), func() bool { return false })
+		c.Do(PairKey(d, d, 1), func() (bool, error) { return false, nil })
 	}
 	if c.Len() != len(ds) {
 		t.Fatalf("unbounded cache holds %d, want %d", c.Len(), len(ds))
@@ -251,11 +251,11 @@ func TestCacheEvictedRecomputes(t *testing.T) {
 	c := NewWithCap(1)
 	ds := digests(2)
 	var computes atomic.Int64
-	compute := func() bool { computes.Add(1); return true }
+	compute := func() (bool, error) { computes.Add(1); return true, nil }
 	k0, k1 := PairKey(ds[0], ds[0], 1), PairKey(ds[1], ds[1], 1)
 	c.Do(k0, compute)
 	c.Do(k1, compute) // evicts k0
-	if _, hit := c.Do(k0, compute); hit {
+	if _, src, _ := c.Do(k0, compute); src != SrcComputed {
 		t.Error("evicted verdict reported as hit")
 	}
 	if computes.Load() != 3 {

@@ -129,7 +129,7 @@ func (en *Encoder) isEmptyDir(st *State, p fs.Path) smt.T {
 
 // Pred encodes predicate a over st (encPred in figure 7).
 func (en *Encoder) Pred(a fs.Pred, st *State) smt.T {
-	switch a := a.(type) {
+	switch a := fs.UnwrapPred(a).(type) {
 	case fs.True:
 		return smt.TrueT
 	case fs.False:
@@ -156,7 +156,7 @@ func (en *Encoder) Pred(a fs.Pred, st *State) smt.T {
 // Apply computes Φ(e)Σ (figure 7): the symbolic strongest postcondition of
 // e from st, fusing the ok(e) and f(e) functions.
 func (en *Encoder) Apply(e fs.Expr, st *State) *State {
-	switch e := e.(type) {
+	switch e := fs.Unwrap(e).(type) {
 	case fs.Id:
 		return st
 	case fs.Err:

@@ -58,6 +58,7 @@ func (v *Vocab) Digest() fs.Digest {
 type SessionStats struct {
 	Queries        int64             // equivalence queries answered
 	ApplyHits      int64             // symbolic applications served by the memo
+	ApplyMisses    int64             // symbolic applications that walked a subtree
 	LearntRetained int               // learnt clauses currently live in the solver
 	Simplify       sat.SimplifyStats // cumulative preprocessing counters
 }
@@ -65,10 +66,11 @@ type SessionStats struct {
 // Session answers a stream of equivalence queries over one fixed vocabulary
 // with a single long-lived encoder and solver.
 type Session struct {
-	en    *Encoder
-	input *State
-	apply map[fs.Digest]*State // DigestExpr(e) -> Apply(e, input)
-	stats SessionStats
+	en        *Encoder
+	input     *State
+	apply     map[fs.Digest]*State // DigestExpr(e) -> Apply(e, input), plain trees
+	applyNode map[*fs.HExpr]*State // interned node -> Apply(e, input): O(1) key
+	stats     SessionStats
 }
 
 // NewSession creates a session over the vocabulary. Every expression later
@@ -78,9 +80,10 @@ type Session struct {
 func NewSession(v *Vocab) *Session {
 	en := NewEncoder(v)
 	return &Session{
-		en:    en,
-		input: en.FreshInputState("in"),
-		apply: make(map[fs.Digest]*State),
+		en:        en,
+		input:     en.FreshInputState("in"),
+		apply:     make(map[fs.Digest]*State),
+		applyNode: make(map[*fs.HExpr]*State),
 	}
 }
 
@@ -91,27 +94,50 @@ func (s *Session) Stats() SessionStats {
 	return s.stats
 }
 
-// applyMemo returns Apply(e, input), memoized by expression digest. Seq
-// spines recurse through the memo, so Apply(e1, input) is computed once
-// even though e1 heads many different Seq composites (every commutativity
-// query pairs it with a different second component). The memo survives Pop:
-// symbolic application creates only terms (never assertions), and the term
-// DAG and its compilation are permanent.
+// applyMemo returns Apply(e, input), memoized per subtree. Hash-consed
+// expressions key on node identity — an O(1) pointer read, no hashing at
+// all — while plain trees fall back to the digest key, which keeps the
+// non-interned baseline exactly as fast as before. Seq spines recurse
+// through the memo, so Apply(e1, input) is computed once even though e1
+// heads many different Seq composites (every commutativity query pairs it
+// with a different second component). The memo survives Pop: symbolic
+// application creates only terms (never assertions), and the term DAG and
+// its compilation are permanent. A miss walks exactly one component
+// subtree (the Seq right child, or the whole non-Seq expression), which is
+// the unit the modeled per-encode latency of internal/core charges.
 func (s *Session) applyMemo(e fs.Expr) *State {
+	if h, ok := e.(*fs.HExpr); ok {
+		if st, ok := s.applyNode[h]; ok {
+			s.stats.ApplyHits++
+			return st
+		}
+		st := s.applyCompute(e)
+		s.applyNode[h] = st
+		s.stats.ApplyMisses++
+		return st
+	}
 	d := fs.DigestExpr(e)
 	if st, ok := s.apply[d]; ok {
 		s.stats.ApplyHits++
 		return st
 	}
-	var st *State
-	if seq, ok := e.(fs.Seq); ok {
-		st = s.en.Apply(seq.E2, s.applyMemo(seq.E1))
-	} else {
-		st = s.en.Apply(e, s.input)
-	}
+	st := s.applyCompute(e)
 	s.apply[d] = st
+	s.stats.ApplyMisses++
 	return st
 }
+
+// applyCompute performs the (unmemoized) symbolic application of e.
+func (s *Session) applyCompute(e fs.Expr) *State {
+	if seq, ok := fs.Unwrap(e).(fs.Seq); ok {
+		return s.en.Apply(seq.E2, s.applyMemo(seq.E1))
+	}
+	return s.en.Apply(e, s.input)
+}
+
+// ApplyMisses returns the number of subtree walks the session has paid;
+// internal/core uses before/after deltas to model external-encoder cost.
+func (s *Session) ApplyMisses() int64 { return s.stats.ApplyMisses }
 
 // sessionLearntCap bounds the learnt clauses a session carries from query
 // to query. Retention pays off while the learnt database is hot and small;
