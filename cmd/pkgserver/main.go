@@ -14,30 +14,97 @@
 //	GET /v1/{platform}/revdeps/{name}
 //
 // Point rehearsal at it with -pkg-server http://host:8373.
+//
+// Operational flags:
+//
+//   - -chaos injects deterministic faults (5xx bursts, connection aborts,
+//     truncated and corrupted JSON bodies, latency) into responses, for
+//     exercising the client's retry/fallback discipline end-to-end. The
+//     spec format is internal/faults.ParseSpec, e.g.
+//     "seed=42,rate=0.2,latency=10ms,kinds=status+reset+truncate+corrupt".
+//   - -write-snapshot dumps the catalog to a snapshot file and exits;
+//     rehearsal -snapshot consumes it as an offline fallback.
+//
+// The server itself is hardened: header/read/write/idle timeouts bound
+// every connection phase, request bodies are size-capped, and SIGINT or
+// SIGTERM drains in-flight requests before exiting instead of tearing
+// them mid-response.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/pkgdb"
 )
 
 func main() {
 	addr := flag.String("addr", ":8373", "listen address")
+	chaos := flag.String("chaos", "", "fault-injection spec (testing only), e.g. seed=42,rate=0.2,kinds=status+reset+truncate+corrupt")
+	writeSnapshot := flag.String("write-snapshot", "", "write the catalog snapshot to this file and exit (consumed by rehearsal -snapshot)")
 	flag.Parse()
 
 	catalog := pkgdb.DefaultCatalog()
-	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      logRequests(pkgdb.Handler(catalog)),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 10 * time.Second,
+	if *writeSnapshot != "" {
+		if err := pkgdb.WriteSnapshotFile(catalog, *writeSnapshot); err != nil {
+			log.Fatalf("pkgserver: %v", err)
+		}
+		log.Printf("pkgserver: wrote catalog snapshot to %s", *writeSnapshot)
+		return
 	}
+
+	var handler http.Handler = pkgdb.Handler(catalog)
+	if *chaos != "" {
+		cfg, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			log.Fatalf("pkgserver: -chaos: %v", err)
+		}
+		handler = faults.Middleware(faults.NewPlan(cfg), handler)
+		log.Printf("pkgserver: chaos mode on (%s)", *chaos)
+	}
+	// The API is all GETs, so any sizeable request body is abuse: cap it
+	// before it can buffer into the server.
+	handler = http.MaxBytesHandler(logRequests(handler), 1<<20)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("pkgserver: serving %v on %s", catalog.Platforms(), *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, drain in-flight requests for
+		// up to 5s so a rolling restart never tears a response mid-body.
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("pkgserver: shutdown: %v", err)
+		}
+		log.Printf("pkgserver: stopped")
+	}
 }
 
 func logRequests(next http.Handler) http.Handler {

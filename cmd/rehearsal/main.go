@@ -21,18 +21,38 @@
 // query; each manifest's report is printed as one block, in argument
 // order. With -cache-dir, verdicts additionally persist on disk, so a
 // later rehearsal process pointed at the same directory starts warm.
+//
+// With -pkg-server, package listings come from a live service; the client
+// retries transient failures (per-attempt timeout -net-timeout, total
+// attempts -net-retries) and, when -snapshot names a catalog snapshot
+// (see pkgserver -write-snapshot), degrades to it rather than failing
+// when the service is unavailable. SIGINT/SIGTERM cancel in-flight
+// checks promptly.
+//
+// Exit codes distinguish the failure class:
+//
+//	0  every check passed
+//	1  verdict failure: non-deterministic, non-idempotent, violated
+//	   invariant, or a manifest error
+//	2  usage error: bad flags, unreadable manifest
+//	3  timeout or interrupt: the analysis did not finish
+//	4  infrastructure failure: listing service unavailable, solver worker
+//	   panic — re-running may succeed
 package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -46,15 +66,67 @@ func main() {
 
 // options bundles the per-manifest verification configuration.
 type options struct {
-	core      core.Options
-	pkgServer string
-	allPlats  bool
-	dot       bool
-	verbose   bool
-	stats     bool
-	skipIdem  bool
-	suggest   bool
-	invariant string
+	core       core.Options
+	pkgServer  string
+	netTimeout time.Duration
+	netRetries int
+	snapshot   string
+	allPlats   bool
+	dot        bool
+	verbose    bool
+	stats      bool
+	skipIdem   bool
+	suggest    bool
+	invariant  string
+}
+
+// newProvider builds the hardened listing-service client for opts,
+// attaching the offline snapshot fallback when one was given.
+func newProvider(opts options) (pkgdb.Provider, error) {
+	client := pkgdb.NewClientConfig(opts.pkgServer, pkgdb.ClientConfig{
+		AttemptTimeout: opts.netTimeout,
+		Attempts:       opts.netRetries,
+	})
+	if opts.snapshot != "" {
+		if err := client.AttachSnapshot(opts.snapshot); err != nil {
+			return nil, err
+		}
+	}
+	return client, nil
+}
+
+// classify maps a check error to its exit-code class (see the package
+// comment): timeouts and interrupts are 3, infrastructure failures 4,
+// everything else a verdict-class 1.
+func classify(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, core.ErrTimeout), errors.Is(err, core.ErrCanceled), errors.Is(err, context.Canceled):
+		return 3
+	case core.IsInfraError(err):
+		return 4
+	default:
+		return 1
+	}
+}
+
+// reportCheckErr prints one check stage's failure and returns its exit
+// class. Timeouts and interrupts keep the stage-labelled verdict line the
+// reports have always used.
+func reportCheckErr(w, ew io.Writer, stage string, err error) int {
+	switch code := classify(err); code {
+	case 3:
+		if errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) {
+			fmt.Fprintf(w, "%s: INTERRUPTED\n", stage)
+		} else {
+			fmt.Fprintf(w, "%s: TIMEOUT\n", stage)
+		}
+		return 3
+	default:
+		fmt.Fprintf(ew, "rehearsal: %v\n", err)
+		return code
+	}
 }
 
 func run(args []string) int {
@@ -62,6 +134,9 @@ func run(args []string) int {
 	platform := fl.String("platform", "ubuntu", "target platform (ubuntu or centos); selects facts and the package catalog")
 	timeout := fl.Duration("timeout", 10*time.Minute, "per-check timeout (the paper's benchmark limit)")
 	pkgServer := fl.String("pkg-server", "", "base URL of a package-listing service (default: built-in catalog)")
+	netTimeout := fl.Duration("net-timeout", pkgdb.DefaultAttemptTimeout, "per-attempt timeout for package-listing requests (with -pkg-server)")
+	netRetries := fl.Int("net-retries", pkgdb.DefaultAttempts, "total attempts per package-listing request (with -pkg-server)")
+	snapshot := fl.String("snapshot", "", "catalog snapshot file used as fallback when the listing service is unavailable (see pkgserver -write-snapshot)")
 	nodeName := fl.String("node", "default", "node name for node-block selection")
 	allPlatforms := fl.Bool("all-platforms", false, "re-verify the manifest for every supported platform (paper section 8)")
 	noCommut := fl.Bool("no-commutativity", false, "disable commutativity-based partial-order reduction (section 4.3)")
@@ -86,10 +161,17 @@ func run(args []string) int {
 		return 2
 	}
 
+	// SIGINT/SIGTERM cancel in-flight checks: workers stop promptly and
+	// the process exits with the interrupt class instead of hanging until
+	// the analysis timeout.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	copts := core.DefaultOptions()
 	copts.Platform = *platform
 	copts.NodeName = *nodeName
 	copts.Timeout = *timeout
+	copts.Context = ctx
 	copts.Commutativity = !*noCommut
 	copts.Elimination = !*noElim
 	copts.Pruning = !*noPrune
@@ -97,20 +179,28 @@ func run(args []string) int {
 	copts.CacheDir = *cacheDir
 	copts.WellFormedInit = *wellFormed
 	copts.Parallelism = *parallel
-	if *pkgServer != "" {
-		copts.Provider = pkgdb.NewClient(*pkgServer, nil)
-	}
 
 	opts := options{
-		core:      copts,
-		pkgServer: *pkgServer,
-		allPlats:  *allPlatforms,
-		dot:       *dot,
-		verbose:   *verbose,
-		stats:     *stats,
-		skipIdem:  *skipIdem,
-		suggest:   *suggest,
-		invariant: *invariant,
+		core:       copts,
+		pkgServer:  *pkgServer,
+		netTimeout: *netTimeout,
+		netRetries: *netRetries,
+		snapshot:   *snapshot,
+		allPlats:   *allPlatforms,
+		dot:        *dot,
+		verbose:    *verbose,
+		stats:      *stats,
+		skipIdem:   *skipIdem,
+		suggest:    *suggest,
+		invariant:  *invariant,
+	}
+	if *pkgServer != "" {
+		p, err := newProvider(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+			return 2
+		}
+		opts.core.Provider = p
 	}
 
 	paths := fl.Args()
@@ -166,7 +256,12 @@ func checkManifest(w, ew io.Writer, path string, opts options) int {
 			perPlat.core.Platform = plat
 			perPlat.core.Provider = nil // reset any client bound to one catalog
 			if opts.pkgServer != "" {
-				perPlat.core.Provider = pkgdb.NewClient(opts.pkgServer, nil)
+				p, err := newProvider(opts)
+				if err != nil {
+					fmt.Fprintf(ew, "rehearsal: %v\n", err)
+					return 2
+				}
+				perPlat.core.Provider = p
 			}
 			fmt.Fprintf(w, "=== platform %s ===\n", plat)
 			code := verifyOne(w, ew, path, string(src), perPlat)
@@ -185,7 +280,7 @@ func verifyOne(w, ew io.Writer, path, src string, opts options) int {
 	sys, err := core.Load(src, opts.core)
 	if err != nil {
 		fmt.Fprintf(ew, "rehearsal: %v\n", err)
-		return 1
+		return classify(err)
 	}
 	if opts.dot {
 		fmt.Fprint(w, sys.Dot())
@@ -194,13 +289,8 @@ func verifyOne(w, ew io.Writer, path, src string, opts options) int {
 	fmt.Fprintf(w, "loaded %d resources from %s (platform %s)\n", sys.Size(), path, opts.core.Platform)
 
 	res, err := sys.CheckDeterminism()
-	if errors.Is(err, core.ErrTimeout) {
-		fmt.Fprintln(w, "determinism: TIMEOUT")
-		return 3
-	}
 	if err != nil {
-		fmt.Fprintf(ew, "rehearsal: %v\n", err)
-		return 1
+		return reportCheckErr(w, ew, "determinism", err)
 	}
 	if opts.verbose {
 		fmt.Fprintf(w, "  resources=%d eliminated=%d pruned-paths=%d paths=%d/%d sequences=%d workers=%d time=%v\n",
@@ -241,13 +331,8 @@ func verifyOne(w, ew io.Writer, path, src string, opts options) int {
 	exitCode := 0
 	if !opts.skipIdem {
 		idem, err := sys.CheckIdempotence()
-		if errors.Is(err, core.ErrTimeout) {
-			fmt.Fprintln(w, "idempotence: TIMEOUT")
-			return 3
-		}
 		if err != nil {
-			fmt.Fprintf(ew, "rehearsal: %v\n", err)
-			return 1
+			return reportCheckErr(w, ew, "idempotence", err)
 		}
 		if idem.Idempotent {
 			fmt.Fprintln(w, "idempotence: OK")
@@ -265,13 +350,8 @@ func verifyOne(w, ew io.Writer, path, src string, opts options) int {
 			return 2
 		}
 		inv, err := sys.CheckFileInvariant(fs.ParsePath(path), content)
-		if errors.Is(err, core.ErrTimeout) {
-			fmt.Fprintln(w, "invariant: TIMEOUT")
-			return 3
-		}
 		if err != nil {
-			fmt.Fprintf(ew, "rehearsal: %v\n", err)
-			return 1
+			return reportCheckErr(w, ew, "invariant", err)
 		}
 		if inv.Holds {
 			fmt.Fprintf(w, "invariant %s: OK\n", opts.invariant)

@@ -2,10 +2,14 @@ package main
 
 import (
 	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/pkgdb"
 )
 
 // runCapture invokes run with the given args, capturing stdout.
@@ -278,6 +282,73 @@ func TestMultipleManifestsMissingFile(t *testing.T) {
 	}
 	if !strings.Contains(out, "=== "+ok+" ===") {
 		t.Errorf("readable manifest should still be checked:\n%s", out)
+	}
+}
+
+// TestInfrastructureExitCode: an unreachable listing service is an
+// infrastructure failure (exit 4), distinguished from verdict failures
+// (exit 1) and usage errors (exit 2).
+func TestInfrastructureExitCode(t *testing.T) {
+	code, _ := runCapture(t,
+		"-pkg-server", "http://127.0.0.1:1",
+		"-net-retries", "1", "-net-timeout", "200ms",
+		writeManifest(t, okManifest))
+	if code != 4 {
+		t.Fatalf("exit %d, want 4 for an unreachable listing service", code)
+	}
+}
+
+// TestSnapshotFallbackExitZero: with a snapshot attached, the same dead
+// service degrades to the offline catalog and the check passes.
+func TestSnapshotFallbackExitZero(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "catalog.snapshot")
+	if err := pkgdb.WriteSnapshotFile(pkgdb.DefaultCatalog(), snap); err != nil {
+		t.Fatal(err)
+	}
+	code, out := runCapture(t,
+		"-pkg-server", "http://127.0.0.1:1",
+		"-net-retries", "1", "-net-timeout", "200ms",
+		"-snapshot", snap,
+		writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 via snapshot fallback:\n%s", code, out)
+	}
+	if !strings.Contains(out, "determinism: OK") {
+		t.Errorf("missing verdict:\n%s", out)
+	}
+	// A missing snapshot file is a usage error.
+	if code, _ := runCapture(t, "-pkg-server", "http://127.0.0.1:1",
+		"-snapshot", "/nonexistent.snapshot", writeManifest(t, okManifest)); code != 2 {
+		t.Errorf("missing snapshot file: exit %d, want 2", code)
+	}
+}
+
+// TestChaosServerVerdictsMatch is the end-to-end differential property:
+// against a listing service that injects a burst of faults (503, aborted
+// connections, truncated and corrupted JSON) on every path, a retry
+// budget larger than the burst yields output byte-identical to the
+// fault-free service — for a passing and for a failing manifest.
+func TestChaosServerVerdictsMatch(t *testing.T) {
+	clean := httptest.NewServer(pkgdb.Handler(pkgdb.DefaultCatalog()))
+	defer clean.Close()
+	chaotic := httptest.NewServer(faults.Middleware(
+		faults.NewPlan(faults.Config{Seed: 7, Burst: 2}),
+		pkgdb.Handler(pkgdb.DefaultCatalog())))
+	defer chaotic.Close()
+
+	for name, manifest := range map[string]string{"ok": okManifest, "buggy": buggyManifest} {
+		path := writeManifest(t, manifest)
+		args := func(url string) []string {
+			return []string{"-pkg-server", url, "-net-retries", "8", path}
+		}
+		wantCode, wantOut := runCapture(t, args(clean.URL)...)
+		gotCode, gotOut := runCapture(t, args(chaotic.URL)...)
+		if gotCode != wantCode {
+			t.Errorf("%s: exit %d under faults, %d clean", name, gotCode, wantCode)
+		}
+		if gotOut != wantOut {
+			t.Errorf("%s: output differs under faults:\nfaulty:\n%s\nclean:\n%s", name, gotOut, wantOut)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -73,6 +74,13 @@ type Options struct {
 
 	// Timeout bounds each check's wall-clock time; 0 means none.
 	Timeout time.Duration
+	// Context, when non-nil, cancels the analysis from outside: package
+	// lookups made while compiling resources observe it (via
+	// pkgdb.BindContext, when the Provider supports contexts), in-flight
+	// parallel commutativity fan-outs stop scheduling new queries, and
+	// CheckDeterminism returns an error wrapping ErrCanceled instead of a
+	// verdict. Nil means the analysis only stops on Timeout.
+	Context context.Context
 	// MaxSequences caps the number of linearizations the checker encodes
 	// before giving up with ErrTimeout; 0 means the default of 20000.
 	MaxSequences int
@@ -222,7 +230,14 @@ func Load(src string, opts Options) (*System, error) {
 // FromCatalog compiles an already-evaluated catalog into a System.
 func FromCatalog(cat *puppet.Catalog, opts Options) (*System, error) {
 	opts = opts.withDefaults()
-	compiler := resources.NewCompiler(opts.Provider, opts.Platform)
+	provider := opts.Provider
+	if opts.Context != nil {
+		// Compilation is where package listings are fetched; binding the
+		// caller's context means a canceled run stops waiting on the
+		// listing service instead of riding out its retry budget.
+		provider = pkgdb.BindContext(opts.Context, provider)
+	}
+	compiler := resources.NewCompiler(provider, opts.Platform)
 
 	g := graph.New[*node]()
 	byKey := make(map[string]graph.Node)

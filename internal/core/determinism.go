@@ -71,6 +71,12 @@ type Stats struct {
 	// DiskCacheHits counts semantic-commutativity decisions answered by
 	// the on-disk verdict tier (0 without Options.CacheDir).
 	DiskCacheHits int
+	// WorkerPanics counts panics recovered inside semantic-commutativity
+	// workers. The first panic aborts the check with a *PanicError, so a
+	// successfully returned result always reports 0; the counter exists
+	// for the error path's diagnostics (see CheckDeterminism's error
+	// contract) and for tests.
+	WorkerPanics int
 }
 
 // SemCacheHitRate returns the fraction of semantic-commutativity
@@ -140,6 +146,7 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	}
 
 	cc := newCommuteChecker(opts)
+	defer cc.cancel() // release the derived context on every exit path
 	stats := Stats{Resources: wg.Len(), TotalPaths: s.TotalPaths(), Workers: cc.workers, InternHits: s.internHits}
 
 	// Second verdict tier: persist this check's semantic-commutativity
@@ -183,6 +190,9 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	if opts.Elimination {
 		eliminated = eliminate(wg, cc)
 		stats.Eliminated = len(eliminated)
+		if err := cc.err(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Step 2 (section 4.4): prune definitive writes to paths that only a
@@ -219,6 +229,7 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 		return nil, err
 	}
 	stats.Sequences = len(outs)
+	stats.WorkerPanics = int(cc.panics.Load())
 	stats.SemQueries = int(cc.queries.Load())
 	stats.SemCacheHits = int(cc.hits.Load())
 	stats.SolverReuses = int(cc.reuses.Load())
@@ -522,12 +533,17 @@ func enumerate(wg *graph.Graph[*workNode], en *sym.Encoder, input *sym.State, op
 				pairs = append(pairs, [2]int{i, j})
 			}
 		}
-		runParallel(cc.workers, len(pairs), func(k int) {
+		runParallel(cc.ctx, cc.workers, len(pairs), func(k int) {
 			i, j := pairs[k][0], pairs[k][1]
 			v := cc.commutes(wg.Label(nodes[i]), wg.Label(nodes[j]))
 			canCommute[i][j] = v
 			canCommute[j][i] = v
 		})
+		if err := cc.err(); err != nil {
+			// A worker panicked or the caller canceled: the matrix may be
+			// partial, so abort instead of enumerating over it.
+			return nil, nil, err
+		}
 	}
 	desc := make([]map[graph.Node]struct{}, len(nodes))
 	for i, n := range nodes {
@@ -564,6 +580,9 @@ func enumerate(wg *graph.Graph[*workNode], en *sym.Encoder, input *sym.State, op
 	// linearization is equivalent to an explored one.
 	var rec func(st *sym.State, sleep map[graph.Node]bool) error
 	rec = func(st *sym.State, sleep map[graph.Node]bool) error {
+		if err := cc.err(); err != nil {
+			return err
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return ErrTimeout
 		}

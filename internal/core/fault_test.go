@@ -1,0 +1,222 @@
+package core
+
+// Fault-tolerance tests for the analysis pipeline: verdicts must be
+// byte-identical under injected network faults that stay within the
+// client's retry budget (at any worker count), faults beyond the budget
+// must fail fast with a typed error, worker panics must be isolated, and
+// cancellation must stop a check promptly — all without leaking a
+// goroutine (this file is part of the -race CI set).
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/fs"
+	"repro/internal/pkgdb"
+	"repro/internal/qcache"
+)
+
+// waitGoroutines fails the test if the goroutine count does not settle
+// back to (roughly) base. HTTP keep-alive reapers and test-server
+// machinery wind down asynchronously, so the check polls with a deadline
+// and a small slack.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d, started with %d\n%s", n, base, buf[:m])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// faultClient serves cat over real HTTP behind a fault-injecting
+// transport and returns a hardened client with a fast, test-sized retry
+// discipline. Keep-alives are disabled so net/http cannot transparently
+// replay a request on a dead reused connection, which would consume
+// fault-plan decisions and make the schedule depend on connection state.
+func faultClient(t *testing.T, cat *pkgdb.Catalog, cfg faults.Config, attempts int) *pkgdb.Client {
+	t.Helper()
+	srv := httptest.NewServer(pkgdb.Handler(cat))
+	t.Cleanup(srv.Close)
+	hc := &http.Client{Transport: &faults.Transport{
+		Base: &http.Transport{DisableKeepAlives: true},
+		Plan: faults.NewPlan(cfg),
+	}}
+	return pkgdb.NewClientConfig(srv.URL, pkgdb.ClientConfig{
+		HTTPClient:   hc,
+		Attempts:     attempts,
+		RetryBackoff: time.Microsecond,
+		MaxBackoff:   10 * time.Microsecond,
+	})
+}
+
+// TestDifferentialVerdictsUnderFaults is the acceptance property: with
+// injected faults that stay within the retry budget (burst 2 per path,
+// 4 attempts), the verdict — counterexample and all — is identical to
+// the fault-free run, at 1 worker and at 8.
+func TestDifferentialVerdictsUnderFaults(t *testing.T) {
+	manifest, provider := parallelWorkload(4)
+	cat := provider.(*pkgdb.Catalog)
+	clean := checkWorkload(t, manifest, cat, 1, qcache.New())
+
+	for _, workers := range []int{1, 8} {
+		client := faultClient(t, cat, faults.Config{Seed: 42, Burst: 2}, 4)
+		res := checkWorkload(t, manifest, client, workers, qcache.New())
+
+		if res.Deterministic != clean.Deterministic {
+			t.Fatalf("workers=%d: verdict under faults %v, clean %v", workers, res.Deterministic, clean.Deterministic)
+		}
+		if !reflect.DeepEqual(res.Counterexample, clean.Counterexample) {
+			t.Errorf("workers=%d: counterexamples differ:\nfaulty: %+v\nclean:  %+v", workers, res.Counterexample, clean.Counterexample)
+		}
+		if res.Stats.Eliminated != clean.Stats.Eliminated ||
+			res.Stats.Sequences != clean.Stats.Sequences ||
+			res.Stats.Paths != clean.Stats.Paths ||
+			res.Stats.Resources != clean.Stats.Resources {
+			t.Errorf("workers=%d: stats differ:\nfaulty: %+v\nclean:  %+v", workers, res.Stats, clean.Stats)
+		}
+		if st := client.Stats(); st.Retries == 0 {
+			t.Errorf("workers=%d: no retries recorded; the fault plan never fired", workers)
+		}
+	}
+}
+
+// TestFaultsBeyondBudgetFailFast: when every attempt faults, loading the
+// manifest fails with the typed infrastructure error — promptly, without
+// hanging, panicking, or leaking goroutines.
+func TestFaultsBeyondBudgetFailFast(t *testing.T) {
+	manifest, provider := parallelWorkload(2)
+	cat := provider.(*pkgdb.Catalog)
+	client := faultClient(t, cat, faults.Config{Seed: 42, Burst: 1 << 20}, 2)
+	base := runtime.NumGoroutine()
+
+	opts := DefaultOptions()
+	opts.Provider = client
+	_, err := Load(manifest, opts)
+	if err == nil {
+		t.Fatal("load succeeded with every attempt faulted")
+	}
+	if !errors.Is(err, pkgdb.ErrUnavailable) {
+		t.Fatalf("err = %v, want pkgdb.ErrUnavailable", err)
+	}
+	if !IsInfraError(err) {
+		t.Fatalf("IsInfraError(%v) = false", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestWorkerPanicIsolation: a panic inside a solver worker is recovered on
+// that worker, aborts the check with a *PanicError carrying the stack, and
+// strands neither the pool nor any goroutine — at 1 worker and at 8.
+func TestWorkerPanicIsolation(t *testing.T) {
+	manifest, provider := parallelWorkload(4)
+	for _, workers := range []int{1, 8} {
+		solveTestHook = func(e1, e2 fs.Expr) { panic("injected solver crash") }
+		base := runtime.NumGoroutine()
+
+		opts := DefaultOptions()
+		opts.Provider = provider
+		opts.SemanticCommute = true
+		opts.Parallelism = workers
+		opts.SharedQueryCache = qcache.New()
+		s, err := Load(manifest, opts)
+		if err != nil {
+			solveTestHook = nil
+			t.Fatal(err)
+		}
+		res, err := s.CheckDeterminism()
+		solveTestHook = nil
+
+		if err == nil {
+			t.Fatalf("workers=%d: check returned a verdict (%+v) despite panicking workers", workers, res)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "injected solver crash" || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: panic error = %v (stack %d bytes)", workers, pe.Value, len(pe.Stack))
+		}
+		if !IsInfraError(err) {
+			t.Errorf("workers=%d: IsInfraError = false for a worker panic", workers)
+		}
+		waitGoroutines(t, base)
+	}
+}
+
+// TestCancellationStopsCheck: canceling Options.Context mid-analysis stops
+// the check promptly with ErrCanceled, joining every worker.
+func TestCancellationStopsCheck(t *testing.T) {
+	manifest, provider := parallelWorkload(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	started := make(chan struct{})
+	var once sync.Once
+	solveTestHook = func(e1, e2 fs.Expr) {
+		once.Do(func() { close(started) })
+		<-ctx.Done() // hold workers mid-query until the caller cancels
+	}
+	defer func() { solveTestHook = nil }()
+	go func() {
+		<-started
+		cancel()
+	}()
+	base := runtime.NumGoroutine()
+
+	opts := DefaultOptions()
+	opts.Provider = provider
+	opts.SemanticCommute = true
+	opts.Parallelism = 4
+	opts.SharedQueryCache = qcache.New()
+	opts.Context = ctx
+	s, err := Load(manifest, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckDeterminism()
+	if err == nil {
+		t.Fatalf("canceled check returned a verdict: %+v", res)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCancellationBeforeStart: a context canceled before the check begins
+// yields ErrCanceled without doing any solver work.
+func TestCancellationBeforeStart(t *testing.T) {
+	manifest, provider := parallelWorkload(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	opts := DefaultOptions()
+	opts.Provider = provider
+	opts.SemanticCommute = true
+	opts.SharedQueryCache = qcache.New()
+	s, err := Load(manifest, opts) // load without ctx: the catalog is local
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Context = ctx
+	if _, err := s.checkDeterminism(opts); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}

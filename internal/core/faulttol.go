@@ -1,0 +1,46 @@
+package core
+
+// Fault tolerance for the analysis engine: typed errors that let callers
+// distinguish "the manifest is non-deterministic" (a verdict) from "the
+// analysis could not run" (infrastructure), plus the panic-isolation error
+// carrying a worker's recovered stack. The cancellation and fail-fast
+// machinery itself lives on commuteChecker (parallel.go); these are the
+// types it surfaces.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pkgdb"
+)
+
+// ErrCanceled reports that the analysis stopped because the caller's
+// context (Options.Context) was canceled before a verdict was reached.
+// Like ErrTimeout it is an infrastructure outcome, not a verdict: the
+// manifest was neither proven deterministic nor non-deterministic.
+var ErrCanceled = errors.New("core: analysis canceled")
+
+// PanicError reports that a worker goroutine panicked during a semantic-
+// commutativity query. The panic is recovered inside the worker — it never
+// crashes the process or strands the worker pool — and the first one aborts
+// the check with this error, carrying the recovered value and stack for
+// diagnosis. A panic means a bug (or an injected fault), so the check
+// refuses to report a verdict built on top of it.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: worker panic: %v", e.Value)
+}
+
+// IsInfraError reports whether err is an infrastructure failure — the
+// analysis machinery could not complete — rather than a verdict or an
+// input error. Callers use it to pick exit codes and retry policy:
+// re-running the same check may succeed, whereas a manifest or verdict
+// error is stable.
+func IsInfraError(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe) || errors.Is(err, pkgdb.ErrUnavailable)
+}

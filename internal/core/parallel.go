@@ -1,6 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,16 +24,23 @@ const DefaultCommuteBudget = 200_000
 
 // runParallel executes task(0..n-1) on up to workers goroutines and waits
 // for all of them. workers <= 1 runs inline, keeping single-threaded runs
-// free of goroutine overhead.
-func runParallel(workers, n int, task func(i int)) {
+// free of goroutine overhead. When ctx ends, no further tasks are started
+// — in-flight tasks finish (every query is budget-bounded, so "finish" is
+// prompt) and the call still joins every worker before returning, so a
+// canceled run never leaks a goroutine.
+func runParallel(ctx context.Context, workers, n int, task func(i int)) {
 	if n == 0 {
 		return
 	}
 	if workers > n {
 		workers = n
 	}
+	done := func() bool { return ctx != nil && ctx.Err() != nil }
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if done() {
+				return
+			}
 			task(i)
 		}
 		return
@@ -40,7 +51,7 @@ func runParallel(workers, n int, task func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !done() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -72,11 +83,56 @@ type commuteChecker struct {
 	cache         *qcache.Cache
 	pool          *sessionPool // nil: build an isolated solver per query
 
+	// Cancellation and fail-fast: ctx derives from Options.Context and is
+	// additionally canceled by the first hard error (a worker panic), so
+	// in-flight pairwise fan-outs stop scheduling promptly. hardErr keeps
+	// the first hard error; soft errors (budget exhaustion) never land
+	// here — they soundly degrade to "non-commuting" instead.
+	ctx    context.Context
+	cancel context.CancelFunc
+	failMu sync.Mutex
+	hard   error
+
 	local    sync.Map     // qcache.Key -> bool, this check's decisions
 	queries  atomic.Int64 // solver queries this check executed
 	hits     atomic.Int64 // decisions served by the shared cache
 	reuses   atomic.Int64 // queries answered by a reused pooled solver
 	diskHits atomic.Int64 // decisions served by the on-disk verdict tier
+	panics   atomic.Int64 // worker panics recovered (each aborts the check)
+}
+
+// solveTestHook, when non-nil, runs inside every semantic-commutativity
+// compute (under the worker's panic recovery). Fault-injection tests use
+// it to simulate solver crashes and slow queries; production never sets
+// it.
+var solveTestHook func(e1, e2 fs.Expr)
+
+// fail records err as the check's hard error (first caller wins) and
+// cancels the checker's context so concurrent workers stop picking up new
+// queries.
+func (c *commuteChecker) fail(err error) {
+	c.failMu.Lock()
+	if c.hard == nil {
+		c.hard = err
+	}
+	c.failMu.Unlock()
+	c.cancel()
+}
+
+// err returns the error the check must abort with: the first recorded
+// hard error, or ErrCanceled when the caller's context ended. nil means
+// the check may keep going.
+func (c *commuteChecker) err() error {
+	c.failMu.Lock()
+	hard := c.hard
+	c.failMu.Unlock()
+	if hard != nil {
+		return hard
+	}
+	if cerr := c.ctx.Err(); cerr != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, cerr)
+	}
+	return nil
 }
 
 func newCommuteChecker(opts Options) *commuteChecker {
@@ -88,7 +144,14 @@ func newCommuteChecker(opts Options) *commuteChecker {
 	if workers <= 0 {
 		workers = 1
 	}
+	parent := opts.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
 	return &commuteChecker{
+		ctx:           ctx,
+		cancel:        cancel,
 		semantic:      opts.SemanticCommute,
 		budget:        DefaultCommuteBudget,
 		workers:       workers,
@@ -145,7 +208,10 @@ func (c *commuteChecker) solve(e1, e2 fs.Expr) (bool, error) {
 	return eq, err
 }
 
-// commutes reports whether a and b commute (a;b ≡ b;a).
+// commutes reports whether a and b commute (a;b ≡ b;a). After the check's
+// context ends (caller cancellation or a prior hard error) it answers
+// false without touching the solver — the value is irrelevant by then,
+// because the check aborts with the recorded error instead of a verdict.
 func (c *commuteChecker) commutes(a, b *workNode) bool {
 	if commute.Commute(a.sum, b.sum) {
 		return true
@@ -153,18 +219,42 @@ func (c *commuteChecker) commutes(a, b *workNode) bool {
 	if !c.semantic {
 		return false
 	}
+	if c.ctx.Err() != nil {
+		return false
+	}
 	key := qcache.PairKey(a.digest(), b.digest(), c.budget)
 	if v, ok := c.local.Load(key); ok {
 		return v.(bool)
 	}
-	v, src, err := c.cache.Do(key, func() (bool, error) {
+	v, src, err := c.cache.Do(key, func() (val bool, err error) {
+		// Panic isolation: a crash inside the encoder or solver is
+		// recovered here, on the goroutine that hit it, and converted into
+		// a typed error — it never kills the process, never strands the
+		// singleflight waiters, and never leaks the worker.
+		defer func() {
+			if r := recover(); r != nil {
+				c.panics.Add(1)
+				err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
 		c.queries.Add(1)
+		if solveTestHook != nil {
+			solveTestHook(a.expr, b.expr)
+		}
 		if c.latency > 0 {
 			time.Sleep(c.latency) // modeled external-solver round trip
 		}
 		return c.solve(a.expr, b.expr)
 	})
 	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			// A panic is a bug or an injected fault, not an inconclusive
+			// query: abort the whole check rather than fold it into a
+			// verdict.
+			c.fail(pe)
+			return false
+		}
 		// Inconclusive (budget exhausted): non-commuting is always sound.
 		// The shared cache deliberately keeps no entry — a later check can
 		// retry — but this check memoizes the decision locally so repeated
@@ -210,7 +300,7 @@ func (c *commuteChecker) prefetch(pairs []pair) {
 		seen[key] = struct{}{}
 		todo = append(todo, p)
 	}
-	runParallel(c.workers, len(todo), func(i int) {
+	runParallel(c.ctx, c.workers, len(todo), func(i int) {
 		c.commutes(todo[i].a, todo[i].b)
 	})
 }

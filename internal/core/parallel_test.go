@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -56,7 +57,7 @@ func TestRunParallel(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 4, 17} {
 		for _, n := range []int{0, 1, 5, 64} {
 			hits := make([]atomicFlag, n)
-			runParallel(workers, n, func(i int) { hits[i].set(t) })
+			runParallel(context.Background(), workers, n, func(i int) { hits[i].set(t) })
 			for i := range hits {
 				if !hits[i].hit {
 					t.Errorf("workers=%d n=%d: index %d never ran", workers, n, i)

@@ -1,0 +1,222 @@
+package faults
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Rate: 0.5}
+	a, b := NewPlan(cfg), NewPlan(cfg)
+	for i := 0; i < 200; i++ {
+		if ka, kb := a.Next("/x"), b.Next("/x"); ka != kb {
+			t.Fatalf("request %d: plans diverged: %v vs %v", i, ka, kb)
+		}
+	}
+	st := a.StatsSnapshot()
+	if st.Requests != 200 || st.Injected == 0 || st.Injected == 200 {
+		t.Errorf("rate-mode stats out of range: %+v", st)
+	}
+}
+
+func TestPlanPerPathBurst(t *testing.T) {
+	p := NewPlan(Config{Burst: 2, Kinds: []Kind{Status, Reset}})
+	for _, path := range []string{"/a", "/b"} {
+		if k := p.Next(path); k != Status {
+			t.Errorf("%s request 1: %v, want status", path, k)
+		}
+		if k := p.Next(path); k != Reset {
+			t.Errorf("%s request 2: %v, want reset", path, k)
+		}
+		for i := 3; i <= 5; i++ {
+			if k := p.Next(path); k != None {
+				t.Errorf("%s request %d: %v, want none", path, i, k)
+			}
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42,rate=0.25,latency=10ms,kinds=status+reset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || cfg.Rate != 0.25 || cfg.Latency != 10*time.Millisecond {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if len(cfg.Kinds) != 2 || cfg.Kinds[0] != Status || cfg.Kinds[1] != Reset {
+		t.Errorf("kinds = %v", cfg.Kinds)
+	}
+	if _, err := ParseSpec("seed=1"); err == nil {
+		t.Error("spec injecting nothing accepted")
+	}
+	if _, err := ParseSpec("rate=2"); err == nil {
+		t.Error("rate outside [0,1] accepted")
+	}
+	if _, err := ParseSpec("burst=1,kinds=frobnicate"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ParseSpec("bogus=1"); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// chatty serves a fixed JSON document.
+func chatty() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"name":  "pkg",
+			"files": []string{"/usr/bin/pkg", "/usr/share/doc/pkg/README"},
+		})
+	})
+}
+
+func get(t *testing.T, client *http.Client, url string) (map[string]any, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, errors.New(resp.Status)
+	}
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func TestTransportKinds(t *testing.T) {
+	srv := httptest.NewServer(chatty())
+	defer srv.Close()
+
+	plan := NewPlan(Config{Burst: 4, Kinds: []Kind{Status, Reset, Truncate, Corrupt}})
+	client := &http.Client{Transport: &Transport{Base: http.DefaultTransport, Plan: plan}}
+
+	// Request 1: synthesized 503.
+	if _, err := get(t, client, srv.URL+"/doc"); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Errorf("status fault: err = %v", err)
+	}
+	// Request 2: connection reset.
+	if _, err := get(t, client, srv.URL+"/doc"); !errors.Is(err, syscall.ECONNRESET) {
+		t.Errorf("reset fault: err = %v", err)
+	}
+	// Request 3: truncated JSON fails to decode.
+	if _, err := get(t, client, srv.URL+"/doc"); err == nil {
+		t.Error("truncated body decoded cleanly")
+	}
+	// Request 4: corrupted JSON fails to decode or decodes to damaged data.
+	v, err := get(t, client, srv.URL+"/doc")
+	if err == nil && v["name"] == "pkg" {
+		t.Error("corrupt fault left body undamaged")
+	}
+	// Request 5 on: clean.
+	v, err = get(t, client, srv.URL+"/doc")
+	if err != nil || v["name"] != "pkg" {
+		t.Errorf("past the burst: %v, %v", v, err)
+	}
+}
+
+func TestMiddlewareKinds(t *testing.T) {
+	plan := NewPlan(Config{Burst: 4, Kinds: []Kind{Status, Reset, Truncate, Corrupt}})
+	srv := httptest.NewServer(Middleware(plan, chatty()))
+	defer srv.Close()
+	// Disable keep-alives: net/http transparently replays idempotent GETs
+	// that die on a reused connection, which would consume extra plan
+	// decisions and make the assertions below nondeterministic.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	if _, err := get(t, client, srv.URL+"/doc"); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Errorf("status fault: err = %v", err)
+	}
+	if _, err := get(t, client, srv.URL+"/doc"); err == nil {
+		t.Error("reset fault produced a clean response")
+	}
+	if _, err := get(t, client, srv.URL+"/doc"); err == nil {
+		t.Error("truncated response decoded cleanly")
+	}
+	v, err := get(t, client, srv.URL+"/doc")
+	if err == nil && v["name"] == "pkg" {
+		t.Error("corrupt fault left body undamaged")
+	}
+	v, err = get(t, client, srv.URL+"/doc")
+	if err != nil || v["name"] != "pkg" {
+		t.Errorf("past the burst: %v, %v", v, err)
+	}
+	st := plan.StatsSnapshot()
+	if st.Injected != 4 {
+		t.Errorf("injected = %d, want 4 (%+v)", st.Injected, st)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	srv := httptest.NewServer(chatty())
+	defer srv.Close()
+	plan := NewPlan(Config{Burst: 1, Kinds: []Kind{Latency}, Latency: 30 * time.Millisecond})
+	client := &http.Client{Transport: &Transport{Plan: plan}}
+	start := time.Now()
+	if _, err := get(t, client, srv.URL+"/doc"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("latency fault took only %v", d)
+	}
+}
+
+func TestFileDamagers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	content := []byte("hello, fault injection")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateFile(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "hello" {
+		t.Errorf("truncated = %q", b)
+	}
+	if err := FlipByte(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) == "hello" {
+		t.Error("flip changed nothing")
+	}
+	if err := ZeroFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); len(b) != 0 {
+		t.Errorf("zeroed file holds %q", b)
+	}
+}
+
+func TestReaders(t *testing.T) {
+	src := strings.Repeat("abcdefgh", 64)
+	got, err := io.ReadAll(TruncatingReader(strings.NewReader(src), 10))
+	if err != nil || len(got) != 10 {
+		t.Errorf("truncating reader: %d bytes, %v", len(got), err)
+	}
+	damaged, err := io.ReadAll(CorruptingReader(strings.NewReader(src), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(damaged) == src {
+		t.Error("corrupting reader changed nothing")
+	}
+	if len(damaged) != len(src) {
+		t.Errorf("corrupting reader changed length: %d != %d", len(damaged), len(src))
+	}
+}

@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// Transport is an http.RoundTripper that injects the plan's faults into
+// outgoing requests. Status and Reset faults never reach the base
+// transport; Truncate and Corrupt perform the real request and damage the
+// response body on the way back, so the damage looks exactly like a torn
+// or bit-rotted wire read to the caller.
+type Transport struct {
+	// Base performs real requests; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Plan decides each request's fate; nil injects nothing.
+	Plan *Plan
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Plan == nil {
+		return t.base().RoundTrip(req)
+	}
+	kind := t.Plan.Next(req.URL.Path)
+	if d := t.Plan.cfg.Latency; d > 0 && kind != None {
+		if err := sleepRequest(req, d); err != nil {
+			return nil, err
+		}
+	}
+	switch kind {
+	case None:
+		return t.base().RoundTrip(req)
+	case Latency:
+		// Delay already paid above; when Latency is the scheduled kind but
+		// no duration is configured there is nothing to inject.
+		return t.base().RoundTrip(req)
+	case Status:
+		return synthesized(req, http.StatusServiceUnavailable, "faults: injected 503"), nil
+	case Reset:
+		return nil, fmt.Errorf("faults: injected reset: %w", syscall.ECONNRESET)
+	case Truncate, Corrupt:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if kind == Truncate {
+			body = body[:len(body)/2]
+		} else {
+			body = flip(body, t.Plan.corruptPositions(len(body)))
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		return resp, nil
+	default:
+		return t.base().RoundTrip(req)
+	}
+}
+
+// sleepRequest waits d or until the request's context is done.
+func sleepRequest(req *http.Request, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-req.Context().Done():
+		return req.Context().Err()
+	}
+}
+
+// synthesized builds an in-memory error response, as a flaky proxy or
+// load-shedding server would return.
+func synthesized(req *http.Request, status int, msg string) *http.Response {
+	body := msg + "\n"
+	return &http.Response{
+		Status:        strconv.Itoa(status) + " " + http.StatusText(status),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {"text/plain; charset=utf-8"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// flip XOR-flips one bit at each position.
+func flip(body []byte, positions []int) []byte {
+	out := append([]byte(nil), body...)
+	for _, i := range positions {
+		out[i] ^= 0x20
+	}
+	return out
+}
+
+// Middleware wraps an http.Handler with server-side fault injection — the
+// engine behind `pkgserver -chaos`. Responses are buffered so Truncate can
+// advertise the full Content-Length while writing only half the body (the
+// client observes an unexpected EOF, exactly like a torn proxy read), and
+// Corrupt can flip bytes post-encoding. Reset aborts the response without
+// writing anything, which net/http turns into a closed connection.
+func Middleware(plan *Plan, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if plan == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		kind := plan.Next(r.URL.Path)
+		if d := plan.cfg.Latency; d > 0 && kind != None {
+			if err := sleepRequest(r, d); err != nil {
+				return
+			}
+		}
+		switch kind {
+		case None, Latency:
+			next.ServeHTTP(w, r)
+		case Status:
+			http.Error(w, "faults: injected 503", http.StatusServiceUnavailable)
+		case Reset:
+			panic(http.ErrAbortHandler)
+		case Truncate, Corrupt:
+			rec := &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+			next.ServeHTTP(rec, r)
+			body := rec.body.Bytes()
+			for k, vs := range rec.header {
+				w.Header()[k] = vs
+			}
+			if kind == Truncate {
+				// Promise the full body, deliver half, then abort so the
+				// connection tears instead of terminating cleanly.
+				w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+				w.WriteHeader(rec.status)
+				_, _ = w.Write(body[:len(body)/2])
+				panic(http.ErrAbortHandler)
+			}
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			w.WriteHeader(rec.status)
+			_, _ = w.Write(flip(body, plan.corruptPositions(len(body))))
+		}
+	})
+}
+
+// bufferedResponse captures a handler's response for post-processing.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(status int) { b.status = status }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }

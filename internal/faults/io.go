@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"io"
+	"math/rand"
+	"os"
+)
+
+// TruncatingReader returns a reader that yields at most n bytes of r and
+// then reports a clean EOF — a torn read that looks complete, the hardest
+// corruption for a consumer to notice without a length or checksum.
+func TruncatingReader(r io.Reader, n int64) io.Reader {
+	return io.LimitReader(r, n)
+}
+
+// corruptingReader flips one bit in roughly every 64 bytes it passes
+// through, at seed-deterministic positions.
+type corruptingReader struct {
+	r   io.Reader
+	rng *rand.Rand
+}
+
+// CorruptingReader returns a reader that deterministically damages the
+// bytes of r: roughly one flipped bit per 64 bytes, positions derived from
+// seed.
+func CorruptingReader(r io.Reader, seed int64) io.Reader {
+	return &corruptingReader{r: r, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (c *corruptingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	for i := 0; i < n; i++ {
+		if c.rng.Intn(64) == 0 {
+			p[i] ^= 0x20
+		}
+	}
+	return n, err
+}
+
+// The file damagers simulate the disk-level faults the qcache corruption
+// tests exercise: a crash mid-write (truncation), bit rot (a flipped byte)
+// and a file created but never written (zero length). They operate in
+// place, like the underlying filesystem fault would.
+
+// TruncateFile cuts the file to its first keep bytes (a torn write).
+func TruncateFile(path string, keep int64) error {
+	return os.Truncate(path, keep)
+}
+
+// FlipByte XOR-flips one bit of the byte at offset (bit rot).
+func FlipByte(path string, offset int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return err
+	}
+	b[0] ^= 0x20
+	_, err = f.WriteAt(b[:], offset)
+	return err
+}
+
+// ZeroFile empties the file (created, never written, crash before flush).
+func ZeroFile(path string) error {
+	return os.Truncate(path, 0)
+}

@@ -1,16 +1,145 @@
 package pkgdb
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/qcache"
 )
+
+// Default client hardening parameters. The listing service is network
+// infrastructure the paper treats as infallible (§5's caching server); a
+// production analysis cannot, so every request runs under a per-attempt
+// timeout, transient failures retry with backoff, and a clearly-down
+// service trips a circuit breaker instead of wedging the worker pool.
+const (
+	// DefaultAttemptTimeout bounds one HTTP attempt.
+	DefaultAttemptTimeout = 5 * time.Second
+	// DefaultAttempts is the total tries per request (1 + retries).
+	DefaultAttempts = 4
+	// DefaultRetryBackoff is the base backoff before the first retry;
+	// subsequent retries double it (with jitter) up to DefaultMaxBackoff.
+	DefaultRetryBackoff = 50 * time.Millisecond
+	// DefaultMaxBackoff caps a single backoff sleep.
+	DefaultMaxBackoff = 2 * time.Second
+	// DefaultBreakerThreshold is the consecutive-failure count that opens
+	// the circuit breaker.
+	DefaultBreakerThreshold = 5
+	// DefaultBreakerCooldown is how long an open breaker fails fast
+	// before allowing a half-open trial request.
+	DefaultBreakerCooldown = 10 * time.Second
+	// DefaultMaxResponseBytes bounds a response body; a bigger body is
+	// treated as corrupt (the largest legitimate listing is well under a
+	// megabyte), so a misbehaving server cannot balloon client memory.
+	DefaultMaxResponseBytes = 8 << 20
+	// DefaultNegativeCacheCap bounds the negative cache (conclusive
+	// unknown-package/platform answers remembered per client).
+	DefaultNegativeCacheCap = 1024
+)
+
+// drainLimit bounds how much of an already-consumed body the client reads
+// while draining for connection reuse.
+const drainLimit = 256 << 10
+
+// ClientConfig tunes the hardened client. The zero value means "all
+// defaults"; any field left zero takes its Default* constant.
+type ClientConfig struct {
+	// HTTPClient performs requests; nil means a client with sane dial,
+	// TLS, and response-header timeouts (NOT http.DefaultClient, which
+	// has none and can hang forever on a wedged server).
+	HTTPClient *http.Client
+	// AttemptTimeout bounds each individual HTTP attempt; < 0 disables.
+	AttemptTimeout time.Duration
+	// Attempts is the total number of tries per request; < 0 means 1.
+	Attempts int
+	// RetryBackoff is the base backoff between attempts (exponential,
+	// jittered); MaxBackoff caps a single sleep.
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// BreakerThreshold consecutive failures open the circuit breaker for
+	// BreakerCooldown; < 0 disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxResponseBytes bounds a response body; < 0 disables the bound.
+	MaxResponseBytes int64
+	// NegativeCacheCap bounds the negative cache; < 0 disables it.
+	NegativeCacheCap int
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = defaultHTTPClient()
+	}
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if cfg.Attempts == 0 {
+		cfg.Attempts = DefaultAttempts
+	}
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 1
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if cfg.MaxResponseBytes == 0 {
+		cfg.MaxResponseBytes = DefaultMaxResponseBytes
+	}
+	if cfg.NegativeCacheCap == 0 {
+		cfg.NegativeCacheCap = DefaultNegativeCacheCap
+	}
+	return cfg
+}
+
+// defaultHTTPClient builds the client used when ClientConfig.HTTPClient is
+// nil: every phase of a request (dial, TLS, response headers, total) is
+// bounded, unlike http.DefaultClient.
+func defaultHTTPClient() *http.Client {
+	return &http.Client{
+		Timeout: 30 * time.Second, // hard ceiling; per-attempt contexts bind first
+		Transport: &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 10 * time.Second,
+			IdleConnTimeout:       90 * time.Second,
+			MaxIdleConnsPerHost:   8,
+		},
+	}
+}
+
+// ClientStats counts the client's interactions with the listing service
+// and its fallbacks.
+type ClientStats struct {
+	Attempts         int64 // HTTP attempts issued (including retries)
+	Retries          int64 // attempts beyond the first for a request
+	NegativeHits     int64 // queries answered by the negative cache
+	SnapshotServes   int64 // queries answered by the snapshot fallback
+	BreakerFastFails int64 // queries refused by an open breaker
+	BreakerOpens     int64 // times the breaker (re-)opened
+}
 
 // Client is a Provider backed by a package-listing service (see Handler).
 // Results are cached for the lifetime of the client, mirroring the paper's
@@ -18,55 +147,226 @@ import (
 // so reported analysis times exclude them. Concurrent cache misses for the
 // same key are coalesced into a single fetch, so parallel manifest checks
 // that resolve overlapping packages do not stampede the listing service.
+//
+// The client is hardened against a flaky or down service: requests run
+// under per-attempt timeouts and honor the caller's context, transient
+// failures (network errors, 5xx, torn or corrupt JSON bodies) retry with
+// jittered exponential backoff — all requests are idempotent GETs — and a
+// consistently failing service trips a circuit breaker. Degradation order
+// for each query: live service (with retries) → in-memory cache (entries
+// never expire, so previously fetched listings keep serving during an
+// outage) → attached catalog snapshot (AttachSnapshot) → a typed
+// ErrUnavailable. Conclusive negative answers are cached in a bounded
+// negative cache so repeated misses do not hammer the service.
 type Client struct {
 	base string
 	http *http.Client
+	cfg  ClientConfig
 
-	mu    sync.Mutex
-	pkgs  map[string]*Package   // platform/name → listing
-	lists map[string][]*Package // kind/platform/name → closure or revdeps
+	mu       sync.Mutex
+	pkgs     map[string]*Package   // platform/name → listing
+	lists    map[string][]*Package // kind/platform/name → closure or revdeps
+	snapshot *Catalog              // optional on-disk fallback catalog
+
+	neg     *negCache
+	breaker *breaker
+
+	attempts         atomic.Int64
+	retries          atomic.Int64
+	negativeHits     atomic.Int64
+	snapshotServes   atomic.Int64
+	breakerFastFails atomic.Int64
+	breakerOpens     atomic.Int64
+
+	sleep func(ctx context.Context, d time.Duration) error // test hook
 
 	pkgFlight  qcache.Group[string, *Package]
 	listFlight qcache.Group[string, []*Package]
 }
 
 // NewClient creates a client for the service at base (e.g.
-// "http://localhost:8373"). If httpClient is nil, http.DefaultClient is
-// used.
+// "http://localhost:8373") with default hardening. If httpClient is nil, a
+// client with sane timeouts is used — never http.DefaultClient, whose
+// missing timeout turns one hung server into a hung analysis.
 func NewClient(base string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
-	}
+	return NewClientConfig(base, ClientConfig{HTTPClient: httpClient})
+}
+
+// NewClientConfig creates a client with explicit hardening parameters.
+func NewClientConfig(base string, cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
 	return &Client{
-		base:  strings.TrimRight(base, "/"),
-		http:  httpClient,
-		pkgs:  make(map[string]*Package),
-		lists: make(map[string][]*Package),
+		base:    strings.TrimRight(base, "/"),
+		http:    cfg.HTTPClient,
+		cfg:     cfg,
+		pkgs:    make(map[string]*Package),
+		lists:   make(map[string][]*Package),
+		neg:     newNegCache(cfg.NegativeCacheCap),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		sleep:   sleepCtx,
 	}
 }
 
-func (c *Client) get(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
+// AttachSnapshot loads a catalog snapshot (see WriteSnapshot) from path
+// and serves it as the fallback of last resort: when the live service and
+// the in-memory cache cannot answer a query, the snapshot does, so an
+// analysis degrades to yesterday's catalog instead of failing.
+func (c *Client) AttachSnapshot(path string) error {
+	cat, err := ReadSnapshotFile(path)
 	if err != nil {
-		return fmt.Errorf("pkgdb client: %w", err)
+		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
+	c.AttachSnapshotCatalog(cat)
+	return nil
+}
+
+// AttachSnapshotCatalog installs cat as the fallback catalog; nil detaches.
+func (c *Client) AttachSnapshotCatalog(cat *Catalog) {
+	c.mu.Lock()
+	c.snapshot = cat
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Attempts:         c.attempts.Load(),
+		Retries:          c.retries.Load(),
+		NegativeHits:     c.negativeHits.Load(),
+		SnapshotServes:   c.snapshotServes.Load(),
+		BreakerFastFails: c.breakerFastFails.Load(),
+		BreakerOpens:     c.breakerOpens.Load(),
+	}
+}
+
+// terminalError marks an attempt outcome that retrying cannot change: the
+// service answered conclusively (404, unexpected 4xx). The wrapped error
+// is what the caller sees.
+type terminalError struct{ err error }
+
+func (t *terminalError) Error() string { return t.err.Error() }
+func (t *terminalError) Unwrap() error { return t.err }
+
+// fetchJSON performs a GET with the client's full retry discipline and
+// decodes the body into a fresh T per attempt (a torn body must not leave
+// half-decoded fields behind for the retry).
+func fetchJSON[T any](c *Client, ctx context.Context, path string) (T, error) {
+	var zero T
+	if !c.breaker.allow() {
+		c.breakerFastFails.Add(1)
+		return zero, fmt.Errorf("%w: circuit breaker open for %s", ErrUnavailable, c.base)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if err := c.sleep(ctx, backoffDelay(c.cfg.RetryBackoff, c.cfg.MaxBackoff, attempt)); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		v, err := attemptJSON[T](c, ctx, path)
+		if err == nil {
+			c.breaker.success()
+			return v, nil
+		}
+		var term *terminalError
+		if errors.As(err, &term) {
+			// The service answered conclusively; this is not an outage.
+			c.breaker.success()
+			return zero, term.err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the caller is gone; do not burn the retry budget
+		}
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Caller cancellation is not the service's fault: report it as
+		// such and leave the breaker alone.
+		return zero, fmt.Errorf("pkgdb client: GET %s: %w", path, ctxErr)
+	}
+	if c.breaker.failure() {
+		c.breakerOpens.Add(1)
+	}
+	return zero, fmt.Errorf("%w: GET %s: %v", ErrUnavailable, path, lastErr)
+}
+
+// attemptJSON is one bounded HTTP attempt. Non-terminal errors are
+// retryable: network failures, 5xx/429 statuses, oversized, truncated or
+// corrupt bodies — for an idempotent GET, retrying any of them is safe.
+func attemptJSON[T any](c *Client, ctx context.Context, path string) (T, error) {
+	var zero T
+	actx := ctx
+	if c.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return zero, &terminalError{fmt.Errorf("pkgdb client: %w", err)}
+	}
+	c.attempts.Add(1)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return zero, fmt.Errorf("pkgdb client: %w", err)
+	}
+	defer drainClose(resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		limit := c.cfg.MaxResponseBytes
+		var r io.Reader = resp.Body
+		if limit > 0 {
+			r = io.LimitReader(resp.Body, limit+1)
+		}
+		body, err := io.ReadAll(r)
+		if err != nil {
+			return zero, fmt.Errorf("pkgdb client: reading %s: %w", path, err)
+		}
+		if limit > 0 && int64(len(body)) > limit {
+			return zero, fmt.Errorf("pkgdb client: response for %s exceeds %d bytes", path, limit)
+		}
+		var v T
+		if err := json.Unmarshal(body, &v); err != nil {
+			return zero, fmt.Errorf("pkgdb client: corrupt response for %s: %w", path, err)
+		}
+		return v, nil
+	case resp.StatusCode == http.StatusNotFound:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		msg := strings.TrimSpace(string(body))
 		if strings.Contains(msg, "platform") {
-			return fmt.Errorf("%w: %s", ErrUnknownPlatform, msg)
+			return zero, &terminalError{fmt.Errorf("%w: %s", ErrUnknownPlatform, msg)}
 		}
-		return fmt.Errorf("%w: %s", ErrUnknownPackage, msg)
+		return zero, &terminalError{fmt.Errorf("%w: %s", ErrUnknownPackage, msg)}
+	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests:
+		return zero, fmt.Errorf("pkgdb client: retryable status %s", resp.Status)
+	default:
+		return zero, &terminalError{fmt.Errorf("pkgdb client: unexpected status %s", resp.Status)}
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("pkgdb client: unexpected status %s", resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// drainClose discards what remains of a response body (bounded) and closes
+// it, so the underlying connection returns to the keep-alive pool instead
+// of being torn down.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, drainLimit))
+	_ = body.Close()
+}
+
+// conclusive reports whether err is a conclusive negative answer (as
+// opposed to an infrastructure failure).
+func conclusive(err error) bool {
+	return errors.Is(err, ErrUnknownPackage) || errors.Is(err, ErrUnknownPlatform)
 }
 
 // Lookup implements Provider.
 func (c *Client) Lookup(platform, name string) (*Package, error) {
+	return c.LookupContext(context.Background(), platform, name)
+}
+
+// LookupContext is Lookup under a caller context.
+func (c *Client) LookupContext(ctx context.Context, platform, name string) (*Package, error) {
 	key := platform + "/" + name
 	c.mu.Lock()
 	if p, ok := c.pkgs[key]; ok {
@@ -74,20 +374,32 @@ func (c *Client) Lookup(platform, name string) (*Package, error) {
 		return p, nil
 	}
 	c.mu.Unlock()
+	if err, ok := c.neg.get(key); ok {
+		c.negativeHits.Add(1)
+		return nil, err
+	}
 	p, err, _ := c.pkgFlight.Do(key, func() (*Package, error) {
-		var p Package
-		if err := c.get("/v1/"+url.PathEscape(platform)+"/package/"+url.PathEscape(name), &p); err != nil {
+		v, err := fetchJSON[Package](c, ctx, "/v1/"+url.PathEscape(platform)+"/package/"+url.PathEscape(name))
+		if err != nil {
+			if conclusive(err) {
+				c.neg.put(key, err)
+				return nil, err
+			}
+			if p, ok := c.snapshotPkg(platform, name); ok {
+				return p, nil
+			}
 			return nil, err
 		}
+		p := &v
 		c.mu.Lock()
-		c.pkgs[key] = &p
+		c.pkgs[key] = p
 		c.mu.Unlock()
-		return &p, nil
+		return p, nil
 	})
 	return p, err
 }
 
-func (c *Client) list(kind, platform, name string) ([]*Package, error) {
+func (c *Client) list(ctx context.Context, kind, platform, name string) ([]*Package, error) {
 	key := kind + "/" + platform + "/" + name
 	c.mu.Lock()
 	if ps, ok := c.lists[key]; ok {
@@ -95,25 +407,92 @@ func (c *Client) list(kind, platform, name string) ([]*Package, error) {
 		return ps, nil
 	}
 	c.mu.Unlock()
+	if err, ok := c.neg.get(key); ok {
+		c.negativeHits.Add(1)
+		return nil, err
+	}
 	ps, err, _ := c.listFlight.Do(key, func() ([]*Package, error) {
-		var ps []*Package
-		if err := c.get("/v1/"+url.PathEscape(platform)+"/"+kind+"/"+url.PathEscape(name), &ps); err != nil {
+		v, err := fetchJSON[[]*Package](c, ctx, "/v1/"+url.PathEscape(platform)+"/"+kind+"/"+url.PathEscape(name))
+		if err != nil {
+			if conclusive(err) {
+				c.neg.put(key, err)
+				return nil, err
+			}
+			if ps, ok := c.snapshotList(kind, platform, name); ok {
+				return ps, nil
+			}
 			return nil, err
 		}
 		c.mu.Lock()
-		c.lists[key] = ps
+		c.lists[key] = v
 		c.mu.Unlock()
-		return ps, nil
+		return v, nil
 	})
 	return ps, err
 }
 
+// snapshotPkg answers a package lookup from the attached snapshot, if one
+// is attached and knows the package. Snapshot answers are deliberately not
+// written into the in-memory cache: once the live service recovers, fresh
+// data wins again.
+func (c *Client) snapshotPkg(platform, name string) (*Package, bool) {
+	c.mu.Lock()
+	snap := c.snapshot
+	c.mu.Unlock()
+	if snap == nil {
+		return nil, false
+	}
+	p, err := snap.Lookup(platform, name)
+	if err != nil {
+		return nil, false
+	}
+	c.snapshotServes.Add(1)
+	return p, true
+}
+
+// snapshotList answers a closure/revdeps query from the attached snapshot.
+func (c *Client) snapshotList(kind, platform, name string) ([]*Package, bool) {
+	c.mu.Lock()
+	snap := c.snapshot
+	c.mu.Unlock()
+	if snap == nil {
+		return nil, false
+	}
+	var ps []*Package
+	var err error
+	switch kind {
+	case "closure":
+		ps, err = snap.Closure(platform, name)
+	case "revdeps":
+		ps, err = snap.ReverseDependents(platform, name)
+	default:
+		return nil, false
+	}
+	if err != nil {
+		return nil, false
+	}
+	c.snapshotServes.Add(1)
+	return ps, true
+}
+
 // Closure implements Provider.
 func (c *Client) Closure(platform, name string) ([]*Package, error) {
-	return c.list("closure", platform, name)
+	return c.ClosureContext(context.Background(), platform, name)
+}
+
+// ClosureContext is Closure under a caller context.
+func (c *Client) ClosureContext(ctx context.Context, platform, name string) ([]*Package, error) {
+	return c.list(ctx, "closure", platform, name)
 }
 
 // ReverseDependents implements Provider.
 func (c *Client) ReverseDependents(platform, name string) ([]*Package, error) {
-	return c.list("revdeps", platform, name)
+	return c.ReverseDependentsContext(context.Background(), platform, name)
 }
+
+// ReverseDependentsContext is ReverseDependents under a caller context.
+func (c *Client) ReverseDependentsContext(ctx context.Context, platform, name string) ([]*Package, error) {
+	return c.list(ctx, "revdeps", platform, name)
+}
+
+var _ ContextProvider = (*Client)(nil)

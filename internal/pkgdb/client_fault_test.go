@@ -1,0 +1,325 @@
+package pkgdb
+
+// Fault-injection tests for the hardened client: every tolerance the
+// client claims (retries, breaker, negative cache, snapshot fallback,
+// context cancellation, response bounds) is exercised against an injected
+// failure. Designed to run under -race.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// fastCfg is a test config with negligible backoff so retry paths run in
+// microseconds.
+func fastCfg() ClientConfig {
+	return ClientConfig{
+		HTTPClient:     &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		AttemptTimeout: 2 * time.Second,
+		Attempts:       4,
+		RetryBackoff:   time.Microsecond,
+		MaxBackoff:     time.Millisecond,
+	}
+}
+
+func TestClientRetriesTransientFaults(t *testing.T) {
+	// Every distinct path fails its first two requests (a 503 and a torn
+	// connection) and succeeds afterwards: within the default retry
+	// budget, so every query must come back correct.
+	plan := faults.NewPlan(faults.Config{Burst: 2, Kinds: []faults.Kind{faults.Status, faults.Reset}})
+	srv := httptest.NewServer(faults.Middleware(plan, Handler(DefaultCatalog())))
+	defer srv.Close()
+
+	c := NewClientConfig(srv.URL, fastCfg())
+	p, err := c.Lookup("ubuntu", "nginx")
+	if err != nil {
+		t.Fatalf("lookup under transient faults: %v", err)
+	}
+	if p.Name != "nginx" || len(p.Files) == 0 {
+		t.Errorf("damaged package: %+v", p)
+	}
+	ps, err := c.Closure("ubuntu", "nginx")
+	if err != nil {
+		t.Fatalf("closure under transient faults: %v", err)
+	}
+	if len(ps) != 2 || ps[0].Name != "nginx-common" {
+		t.Errorf("closure = %v", ps)
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Errorf("no retries recorded despite injected faults: %+v", st)
+	}
+}
+
+func TestClientRetriesCorruptBodies(t *testing.T) {
+	// Truncated and corrupted JSON must be retried like any transient
+	// fault, never half-decoded into a cached listing.
+	plan := faults.NewPlan(faults.Config{Burst: 2, Kinds: []faults.Kind{faults.Truncate, faults.Corrupt}})
+	srv := httptest.NewServer(faults.Middleware(plan, Handler(DefaultCatalog())))
+	defer srv.Close()
+
+	c := NewClientConfig(srv.URL, fastCfg())
+	p, err := c.Lookup("ubuntu", "git")
+	if err != nil {
+		t.Fatalf("lookup under torn bodies: %v", err)
+	}
+	if p.Name != "git" || len(p.Files) < 500 {
+		t.Errorf("damaged package survived retries: name=%q files=%d", p.Name, len(p.Files))
+	}
+}
+
+func TestClientFailsFastBeyondBudget(t *testing.T) {
+	// A burst longer than the retry budget must produce a typed
+	// ErrUnavailable — promptly, not after hanging.
+	plan := faults.NewPlan(faults.Config{Burst: 1000, Kinds: []faults.Kind{faults.Status}})
+	srv := httptest.NewServer(faults.Middleware(plan, Handler(DefaultCatalog())))
+	defer srv.Close()
+
+	cfg := fastCfg()
+	cfg.Attempts = 3
+	c := NewClientConfig(srv.URL, cfg)
+	start := time.Now()
+	_, err := c.Lookup("ubuntu", "nginx")
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("fail-fast took %v", d)
+	}
+	if st := c.Stats(); st.Attempts != 3 {
+		t.Errorf("attempts = %d, want exactly the budget of 3", st.Attempts)
+	}
+}
+
+func TestNegativeCache(t *testing.T) {
+	var hits atomic.Int64
+	inner := Handler(DefaultCatalog())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := NewClientConfig(srv.URL, fastCfg())
+	if _, err := c.Lookup("ubuntu", "no-such-pkg"); !errors.Is(err, ErrUnknownPackage) {
+		t.Fatalf("first miss: %v", err)
+	}
+	n := hits.Load()
+	if n != 1 {
+		t.Fatalf("conclusive 404 was retried: %d requests", n)
+	}
+	// The second miss must come from the negative cache, not the wire.
+	if _, err := c.Lookup("ubuntu", "no-such-pkg"); !errors.Is(err, ErrUnknownPackage) {
+		t.Fatalf("second miss: %v", err)
+	}
+	if hits.Load() != n {
+		t.Error("repeated miss hit the service")
+	}
+	if st := c.Stats(); st.NegativeHits != 1 {
+		t.Errorf("negative hits = %d, want 1", st.NegativeHits)
+	}
+	// Unknown platforms are negative-cached too.
+	if _, err := c.Closure("freebsd", "nginx"); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("platform miss: %v", err)
+	}
+	before := hits.Load()
+	if _, err := c.Closure("freebsd", "nginx"); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("repeated platform miss: %v", err)
+	}
+	if hits.Load() != before {
+		t.Error("repeated platform miss hit the service")
+	}
+}
+
+func TestNegativeCacheBounded(t *testing.T) {
+	n := newNegCache(2)
+	n.put("a", ErrUnknownPackage)
+	n.put("b", ErrUnknownPackage)
+	n.put("c", ErrUnknownPackage)
+	if n.len() != 2 {
+		t.Errorf("len = %d, want 2", n.len())
+	}
+	if _, ok := n.get("a"); ok {
+		t.Error("oldest entry not evicted")
+	}
+	if _, ok := n.get("c"); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+func TestCircuitBreaker(t *testing.T) {
+	var down atomic.Bool
+	down.Store(true)
+	var hits atomic.Int64
+	inner := Handler(DefaultCatalog())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if down.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	cfg := fastCfg()
+	cfg.Attempts = 1
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = 50 * time.Millisecond
+	c := NewClientConfig(srv.URL, cfg)
+
+	// Two failures open the breaker.
+	for _, name := range []string{"nginx", "git"} {
+		if _, err := c.Lookup("ubuntu", name); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("lookup %s: %v", name, err)
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("breaker opens = %d, want 1", st.BreakerOpens)
+	}
+	// While open: fail fast, no wire traffic.
+	before := hits.Load()
+	if _, err := c.Lookup("ubuntu", "vim"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("open-breaker lookup: %v", err)
+	}
+	if hits.Load() != before {
+		t.Error("open breaker let a request through")
+	}
+	if st := c.Stats(); st.BreakerFastFails != 1 {
+		t.Errorf("fast fails = %d, want 1", st.BreakerFastFails)
+	}
+	// After the cooldown the half-open trial reaches a recovered service.
+	down.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	p, err := c.Lookup("ubuntu", "vim")
+	if err != nil || p.Name != "vim" {
+		t.Fatalf("post-recovery lookup: %v, %v", p, err)
+	}
+}
+
+func TestSnapshotFallback(t *testing.T) {
+	// Write a snapshot of the default catalog, then point the client at a
+	// dead server: everything the snapshot knows must still resolve.
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	if err := WriteSnapshotFile(DefaultCatalog(), path); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(DefaultCatalog()))
+	srv.Close() // dead on arrival
+
+	cfg := fastCfg()
+	cfg.Attempts = 2
+	c := NewClientConfig(srv.URL, cfg)
+	if _, err := c.Lookup("ubuntu", "nginx"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("dead server without snapshot: %v", err)
+	}
+	if err := c.AttachSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Lookup("ubuntu", "git")
+	if err != nil {
+		t.Fatalf("snapshot lookup: %v", err)
+	}
+	if p.Name != "git" || len(p.Files) < 500 {
+		t.Errorf("snapshot package damaged: name=%q files=%d", p.Name, len(p.Files))
+	}
+	ps, err := c.Closure("ubuntu", "nginx")
+	if err != nil || len(ps) != 2 {
+		t.Fatalf("snapshot closure: %v, %v", ps, err)
+	}
+	rd, err := c.ReverseDependents("ubuntu", "perl")
+	if err != nil || len(rd) == 0 {
+		t.Fatalf("snapshot revdeps: %v, %v", rd, err)
+	}
+	// A package the snapshot doesn't know stays an infrastructure error,
+	// not a fabricated "unknown package".
+	if _, err := c.Lookup("ubuntu", "no-such-pkg"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("snapshot miss: %v", err)
+	}
+	if st := c.Stats(); st.SnapshotServes < 3 {
+		t.Errorf("snapshot serves = %d, want >= 3", st.SnapshotServes)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	if err := WriteSnapshotFile(DefaultCatalog(), path); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := DefaultCatalog().Lookup("ubuntu", "git")
+	got, err := cat.Lookup("ubuntu", "git")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != orig.Version || len(got.Files) != len(orig.Files) || len(got.Dirs) != len(orig.Dirs) {
+		t.Errorf("round-trip damaged git: %d/%d files, %d/%d dirs",
+			len(got.Files), len(orig.Files), len(got.Dirs), len(orig.Dirs))
+	}
+	// A torn snapshot is a load-time error, never a half-loaded catalog.
+	if err := faults.TruncateFile(path, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(path); err == nil {
+		t.Error("torn snapshot loaded")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c := NewClientConfig(srv.URL, fastCfg())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.LookupContext(ctx, "ubuntu", "nginx")
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		if errors.Is(err, ErrUnavailable) {
+			t.Error("caller cancellation misclassified as a service outage")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not unblock the lookup")
+	}
+}
+
+func TestOversizeResponseRejected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("[" + strings.Repeat(`"x",`, 4096) + `"x"]`))
+	}))
+	defer srv.Close()
+	cfg := fastCfg()
+	cfg.Attempts = 2
+	cfg.MaxResponseBytes = 1024
+	c := NewClientConfig(srv.URL, cfg)
+	if _, err := c.Lookup("ubuntu", "nginx"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("oversized response: %v, want ErrUnavailable", err)
+	}
+}

@@ -7,6 +7,7 @@
 package pkgdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,6 +19,14 @@ import (
 var (
 	ErrUnknownPlatform = errors.New("pkgdb: unknown platform")
 	ErrUnknownPackage  = errors.New("pkgdb: unknown package")
+
+	// ErrUnavailable reports an infrastructure failure: the listing
+	// service could not produce an answer within the client's retry
+	// budget (network errors, 5xx responses, torn bodies, an open circuit
+	// breaker) and no cached or snapshot fallback applied. It is the
+	// boundary between "the manifest is wrong" and "the service is down" —
+	// callers (cmd/rehearsal) map it to a distinct exit code.
+	ErrUnavailable = errors.New("pkgdb: listing service unavailable")
 )
 
 // Package is the standardized package listing: the files and directories
@@ -42,6 +51,44 @@ type Provider interface {
 	// name, in an order suitable for removal (dependents before
 	// dependencies).
 	ReverseDependents(platform, name string) ([]*Package, error)
+}
+
+// ContextProvider is a Provider whose queries honor a context for
+// cancellation and deadlines. Client implements it; the analysis pipeline
+// (internal/core) binds its run context to the provider via BindContext so
+// canceling a check also abandons its in-flight package fetches.
+type ContextProvider interface {
+	Provider
+	LookupContext(ctx context.Context, platform, name string) (*Package, error)
+	ClosureContext(ctx context.Context, platform, name string) ([]*Package, error)
+	ReverseDependentsContext(ctx context.Context, platform, name string) ([]*Package, error)
+}
+
+// BindContext returns a Provider that forwards every query to p under ctx
+// when p implements ContextProvider, and p unchanged otherwise (an
+// in-memory Catalog cannot block, so it has nothing to cancel).
+func BindContext(ctx context.Context, p Provider) Provider {
+	if cp, ok := p.(ContextProvider); ok && ctx != nil {
+		return &boundProvider{ctx: ctx, p: cp}
+	}
+	return p
+}
+
+type boundProvider struct {
+	ctx context.Context
+	p   ContextProvider
+}
+
+func (b *boundProvider) Lookup(platform, name string) (*Package, error) {
+	return b.p.LookupContext(b.ctx, platform, name)
+}
+
+func (b *boundProvider) Closure(platform, name string) ([]*Package, error) {
+	return b.p.ClosureContext(b.ctx, platform, name)
+}
+
+func (b *boundProvider) ReverseDependents(platform, name string) ([]*Package, error) {
+	return b.p.ReverseDependentsContext(b.ctx, platform, name)
 }
 
 // Catalog is an in-memory Provider.

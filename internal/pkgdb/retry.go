@@ -1,0 +1,152 @@
+package pkgdb
+
+// Retry discipline for the hardened client: exponential backoff with full
+// jitter, a consecutive-failure circuit breaker, and a bounded negative
+// cache. All three exist to keep a flaky or down listing service from
+// wedging an analysis run — the client retries what is safe to retry
+// (idempotent GETs, retryable statuses), stops hammering a service that is
+// clearly down, and never re-fetches a conclusive "no such package".
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// backoffDelay returns the sleep before retry attempt (attempt >= 1):
+// base·2^(attempt-1) capped at max, with full jitter in [d/2, d] so
+// synchronized workers retrying the same outage spread out instead of
+// stampeding.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if max > 0 && d > max {
+		d = max
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// breaker is a consecutive-failure circuit breaker. After threshold
+// consecutive request failures the breaker opens for cooldown: requests
+// fail fast without touching the network, so a down service costs one
+// timeout per cooldown window instead of one per query. When the window
+// passes the breaker is half-open — the next request runs as a trial, and
+// its outcome closes or re-opens the circuit.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed (closed or half-open).
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.now().Before(b.openUntil)
+}
+
+// success closes the circuit.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// failure records a request failure; it reports whether this failure
+// opened (or re-opened) the circuit.
+func (b *breaker) failure() bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
+// negCache is a bounded FIFO cache of conclusive negative answers
+// (ErrUnknownPackage / ErrUnknownPlatform). Positive listings are cached
+// for the client's lifetime, so without this the asymmetry meant every
+// repeated miss hit the service again.
+type negCache struct {
+	cap  int
+	mu   sync.Mutex
+	m    map[string]error
+	fifo []string
+}
+
+func newNegCache(cap int) *negCache {
+	return &negCache{cap: cap, m: make(map[string]error)}
+}
+
+func (n *negCache) get(key string) (error, bool) {
+	if n.cap <= 0 {
+		return nil, false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	err, ok := n.m[key]
+	return err, ok
+}
+
+func (n *negCache) put(key string, err error) {
+	if n.cap <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.m[key]; dup {
+		return
+	}
+	if len(n.fifo) >= n.cap {
+		oldest := n.fifo[0]
+		n.fifo = n.fifo[1:]
+		delete(n.m, oldest)
+	}
+	n.m[key] = err
+	n.fifo = append(n.fifo, key)
+}
+
+func (n *negCache) len() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.m)
+}

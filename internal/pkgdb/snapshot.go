@@ -1,0 +1,96 @@
+package pkgdb
+
+// Catalog snapshots: a JSON serialization of a full catalog that a client
+// can attach as its fallback of last resort. The paper's deployment keeps
+// the listing service's cache on disk for exactly this reason — package
+// listings change rarely, so an analysis run against a slightly stale
+// snapshot is far more useful than one that fails because the service is
+// down. `pkgserver -write-snapshot` produces one; `rehearsal -snapshot`
+// consumes it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SnapshotVersion identifies the snapshot file format.
+const SnapshotVersion = 1
+
+// snapshotFile is the on-disk snapshot structure.
+type snapshotFile struct {
+	Version   int                            `json:"version"`
+	Platforms map[string]map[string]*Package `json:"platforms"`
+}
+
+// WriteSnapshot serializes the catalog to w in snapshot format.
+func (c *Catalog) WriteSnapshot(w io.Writer) error {
+	snap := snapshotFile{Version: SnapshotVersion, Platforms: make(map[string]map[string]*Package)}
+	for plat, pkgs := range c.platforms {
+		out := make(map[string]*Package, len(pkgs))
+		for name, p := range pkgs {
+			out[name] = p
+		}
+		snap.Platforms[plat] = out
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// WriteSnapshotFile writes the catalog snapshot to path atomically (temp
+// file + rename), so a crashed writer can never leave a torn snapshot for
+// a later AttachSnapshot to trip over.
+func WriteSnapshotFile(c *Catalog, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	if err := c.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot and rebuilds the catalog. Packages pass
+// through Catalog.Add, so normalization (sorted files, ancestor-closed
+// dirs) is re-derived rather than trusted from the file.
+func ReadSnapshot(r io.Reader) (*Catalog, error) {
+	var snap snapshotFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("pkgdb: corrupt snapshot: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("pkgdb: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	cat := NewCatalog()
+	for plat, pkgs := range snap.Platforms {
+		for _, p := range pkgs {
+			cat.Add(plat, p)
+		}
+	}
+	return cat, nil
+}
+
+// ReadSnapshotFile reads a snapshot from path.
+func ReadSnapshotFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

@@ -7,13 +7,24 @@ package qcache
 //
 //	<scheme version line>
 //	commutes | conflicts
+//	sum:<crc32 of the two lines above>
 //
 // Writes go through a temp file plus rename, so a reader (or a crashed
-// writer) can never observe a torn verdict. Every file embeds
-// DiskSchemeVersion, which names the digest scheme, the symbolic encoding
-// and the solver revision the verdict depends on: a verdict is only as
-// durable as the semantics that produced it, so bumping any of those
-// layers must orphan the whole store. A mismatched file is deleted on
+// writer) can never observe a torn verdict from this process. The cache
+// directory is still subject to the filesystem underneath — crashes
+// mid-rename on non-atomic filesystems, bit rot, truncation by full
+// disks — so every file carries a checksum over its content, and a file
+// that fails it (truncated, garbled, zero-length) is treated as a miss,
+// moved to a quarantine/ subdirectory for post-mortem, and counted as
+// CorruptEntries; the verdict is simply re-derived. A wrong verdict
+// served from a flipped bit would silently change analysis results, which
+// is why damage detection is structural, not best-effort.
+//
+// Every file embeds DiskSchemeVersion, which names the file format, the
+// digest scheme, the symbolic encoding and the solver revision the
+// verdict depends on: a verdict is only as durable as the semantics that
+// produced it, so bumping any of those layers must orphan the whole
+// store. A file whose header mismatches (but is undamaged) is deleted on
 // first touch and counted as Invalidated.
 //
 // The tier is LRU-bounded by a byte budget: the in-memory index is seeded
@@ -26,6 +37,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -35,11 +48,18 @@ import (
 )
 
 // DiskSchemeVersion identifies every layer a stored verdict depends on:
-// the cache file format, the expression digest scheme (fs.DigestExpr), the
-// symbolic encoding (internal/sym, figure 7) and the solver backend.
-// Changing any of them invalidates every stored verdict — readers delete
-// files whose header does not match byte-for-byte.
-const DiskSchemeVersion = "qcache/1 digest=merkle-sha256/1 encode=fig7-enum/1 solver=cdcl-incremental/2"
+// the cache file format (qcache/2 adds the trailing checksum line), the
+// expression digest scheme (fs.DigestExpr), the symbolic encoding
+// (internal/sym, figure 7) and the solver backend. Changing any of them
+// invalidates every stored verdict — readers delete files whose header
+// does not match byte-for-byte.
+const DiskSchemeVersion = "qcache/2 digest=merkle-sha256/1 encode=fig7-enum/1 solver=cdcl-incremental/2 sum=crc32/1"
+
+// quarantineDir is the subdirectory (under the store's directory) that
+// damaged verdict files are moved into instead of being served or
+// silently deleted: the bytes stay available for diagnosing how the
+// store got damaged, while the index treats the entry as a plain miss.
+const quarantineDir = "quarantine"
 
 // DefaultDiskBudget bounds the tier at 32 MiB — roughly half a million
 // verdict files, far beyond any benchmark suite, while keeping a shared
@@ -52,13 +72,14 @@ const diskExt = ".qv"
 
 // DiskStats snapshots the tier's counters.
 type DiskStats struct {
-	Hits        int64 // lookups answered from disk
-	Misses      int64 // lookups with no usable file
-	Writes      int64 // verdicts stored
-	Evictions   int64 // files removed by the byte budget
-	Invalidated int64 // files deleted for a stale scheme version
-	Files       int   // verdict files currently indexed
-	Bytes       int64 // bytes currently indexed
+	Hits           int64 // lookups answered from disk
+	Misses         int64 // lookups with no usable file
+	Writes         int64 // verdicts stored
+	Evictions      int64 // files removed by the byte budget
+	Invalidated    int64 // files deleted for a stale scheme version
+	CorruptEntries int64 // damaged files quarantined (bad checksum/structure)
+	Files          int   // verdict files currently indexed
+	Bytes          int64 // bytes currently indexed
 }
 
 // diskEntry is one verdict file on the LRU list (front = most recent).
@@ -156,12 +177,21 @@ func (d *Disk) Lookup(key Key) (val, ok bool) {
 		d.mu.Unlock()
 		return false, false
 	}
-	header, verdict, valid := parseVerdictFile(data)
-	if !valid || header != DiskSchemeVersion {
+	verdict, state := parseVerdictFile(data)
+	switch state {
+	case fileStale:
 		os.Remove(path)
 		d.mu.Lock()
 		d.dropLocked(name)
 		d.stats.Invalidated++
+		d.stats.Misses++
+		d.mu.Unlock()
+		return false, false
+	case fileCorrupt:
+		d.quarantine(name)
+		d.mu.Lock()
+		d.dropLocked(name)
+		d.stats.CorruptEntries++
 		d.stats.Misses++
 		d.mu.Unlock()
 		return false, false
@@ -191,7 +221,7 @@ func (d *Disk) Store(key Key, val bool) {
 	if val {
 		word = "commutes"
 	}
-	content := DiskSchemeVersion + "\n" + word + "\n"
+	content := DiskSchemeVersion + "\n" + word + "\n" + checksumLine(DiskSchemeVersion, word) + "\n"
 	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
 	if err != nil {
 		return
@@ -252,20 +282,64 @@ func (d *Disk) evictLocked() {
 	}
 }
 
-// parseVerdictFile splits a verdict file into header and verdict.
-func parseVerdictFile(data []byte) (header string, val, ok bool) {
-	text := string(data)
-	line, rest, found := strings.Cut(text, "\n")
+// verdictFileState classifies a read verdict file.
+type verdictFileState int
+
+const (
+	fileValid   verdictFileState = iota // current scheme, checksum ok
+	fileStale                           // undamaged, but written by a different scheme
+	fileCorrupt                         // truncated, garbled, or checksum mismatch
+)
+
+// parseVerdictFile classifies a verdict file and extracts its verdict.
+// Stale means a structurally sound file written under another scheme
+// version (including pre-checksum qcache/1 files, which have no sum
+// line); anything that fails structure or checksum is corrupt.
+func parseVerdictFile(data []byte) (val bool, state verdictFileState) {
+	header, rest, found := strings.Cut(string(data), "\n")
 	if !found {
-		return "", false, false
+		return false, fileCorrupt
 	}
-	switch strings.TrimSuffix(rest, "\n") {
-	case "commutes":
-		return line, true, true
-	case "conflicts":
-		return line, false, true
+	word, tail, _ := strings.Cut(rest, "\n")
+	wordOK := word == "commutes" || word == "conflicts"
+	if header != DiskSchemeVersion {
+		if !strings.HasPrefix(header, "qcache/") || !wordOK {
+			return false, fileCorrupt
+		}
+		// A sum line that does not match its own content means damage,
+		// not just age — a bit flip inside the header lands here.
+		if t := strings.TrimSuffix(tail, "\n"); t != "" && t != checksumLine(header, word) {
+			return false, fileCorrupt
+		}
+		return false, fileStale
 	}
-	return line, false, false
+	if !wordOK || strings.TrimSuffix(tail, "\n") != checksumLine(header, word) {
+		return false, fileCorrupt
+	}
+	return word == "commutes", fileValid
+}
+
+// checksumLine returns the third line of a verdict file: an IEEE crc32
+// over the header and verdict lines, newlines included. Covering the
+// header too means a flipped bit anywhere in the file is caught.
+func checksumLine(header, word string) string {
+	sum := crc32.ChecksumIEEE([]byte(header + "\n" + word + "\n"))
+	return fmt.Sprintf("sum:%08x", sum)
+}
+
+// quarantine moves a damaged verdict file into the quarantine
+// subdirectory instead of deleting it, keeping the bytes available for
+// diagnosing how the store got damaged. If the move fails the file is
+// removed outright — either way it can never be served again.
+func (d *Disk) quarantine(name string) {
+	src := filepath.Join(d.dir, name)
+	qdir := filepath.Join(d.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(src, filepath.Join(qdir, name)) == nil {
+			return
+		}
+	}
+	os.Remove(src)
 }
 
 // The process-wide store registry: one Disk per directory, so every check

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/faults"
 )
 
 // TestDoDropsFailedComputation is the regression test for error poisoning:
@@ -153,7 +155,7 @@ func TestDiskSchemeInvalidation(t *testing.T) {
 // TestDiskByteBudget: the store evicts oldest files beyond the budget.
 func TestDiskByteBudget(t *testing.T) {
 	dir := t.TempDir()
-	oneFile := int64(len(DiskSchemeVersion) + 1 + len("conflicts") + 1)
+	oneFile := int64(len(DiskSchemeVersion) + 1 + len("conflicts") + 1 + len("sum:00000000") + 1)
 	d, err := OpenDisk(dir, 3*oneFile)
 	if err != nil {
 		t.Fatal(err)
@@ -232,5 +234,137 @@ func TestCacheDiskTier(t *testing.T) {
 	cold.Do(kf, func() (bool, error) { return false, boom })
 	if _, ok := disk.Lookup(kf); ok {
 		t.Fatal("failed compute reached the disk tier")
+	}
+}
+
+// TestDiskCorruptionQuarantine: damaged verdict files — torn writes
+// (truncated mid-file), flipped bytes, zero-length files — are never
+// served: each is treated as a miss, quarantined rather than silently
+// deleted, and counted. Undamaged neighbours keep working, and a re-store
+// over a quarantined entry serves again.
+func TestDiskCorruptionQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := testKeys(4)
+	for _, k := range ks {
+		d.Store(k, true)
+	}
+
+	// Damage three of the four files in three different ways; ks[3] stays
+	// intact as the control.
+	paths := make([]string, len(ks))
+	for i, k := range ks {
+		paths[i] = filepath.Join(dir, k.fileName())
+	}
+	full := int64(len(DiskSchemeVersion) + 1 + len("commutes") + 1 + len("sum:00000000") + 1)
+	if err := faults.TruncateFile(paths[0], full/2); err != nil { // torn write
+		t.Fatal(err)
+	}
+	if err := faults.FlipByte(paths[1], int64(len(DiskSchemeVersion))+3); err != nil { // bit rot in the verdict word
+		t.Fatal(err)
+	}
+	if err := faults.ZeroFile(paths[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm start over the damaged directory must succeed, and lookups must
+	// classify each damaged file as a miss — never a served verdict.
+	d2, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatalf("warm start over damaged store: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := d2.Lookup(ks[i]); ok {
+			t.Fatalf("damaged file %d served a verdict", i)
+		}
+	}
+	if v, ok := d2.Lookup(ks[3]); !ok || !v {
+		t.Fatalf("intact neighbour not served: v=%v ok=%v", v, ok)
+	}
+	st := d2.StatsSnapshot()
+	if st.CorruptEntries != 3 {
+		t.Fatalf("stats = %+v, want CorruptEntries=3", st)
+	}
+	if st.Invalidated != 0 {
+		t.Fatalf("damage misclassified as scheme staleness: %+v", st)
+	}
+
+	// The damaged bytes were quarantined, not deleted, and the main
+	// directory no longer holds them.
+	qents, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil || len(qents) != 3 {
+		t.Fatalf("quarantine dir: entries=%d err=%v, want 3", len(qents), err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(paths[i]); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("damaged file %d still in the main directory", i)
+		}
+	}
+
+	// Re-deriving (re-storing) a quarantined key serves again.
+	d2.Store(ks[0], false)
+	if v, ok := d2.Lookup(ks[0]); !ok || v {
+		t.Fatalf("re-derived verdict not served: v=%v ok=%v", v, ok)
+	}
+}
+
+// TestDiskHeaderFlipIsCorrupt: a bit flip inside the header of a
+// current-format file fails its own checksum and is classified as damage
+// (quarantined), not as a stale scheme (deleted).
+func TestDiskHeaderFlipIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKeys(1)[0]
+	d.Store(k, true)
+	if err := faults.FlipByte(filepath.Join(dir, k.fileName()), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Lookup(k); ok {
+		t.Fatal("header-flipped verdict served")
+	}
+	st := d.StatsSnapshot()
+	if st.CorruptEntries != 1 || st.Invalidated != 0 {
+		t.Fatalf("stats = %+v, want CorruptEntries=1 Invalidated=0", st)
+	}
+}
+
+// TestCacheDiskTierRederivesCorrupt: the full cache stack re-derives a
+// verdict whose disk file was damaged — the compute callback runs again,
+// the fresh verdict is written back through, and a third cache over the
+// same directory is disk-served without computing.
+func TestCacheDiskTierRederivesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKeys(1)[0]
+	warm := New()
+	warm.AttachDisk(disk)
+	if _, _, err := warm.Do(k, func() (bool, error) { return true, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.TruncateFile(filepath.Join(dir, k.fileName()), 5); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := New()
+	cold.AttachDisk(disk)
+	computes := 0
+	v, src, err := cold.Do(k, func() (bool, error) { computes++; return true, nil })
+	if err != nil || !v || src != SrcComputed || computes != 1 {
+		t.Fatalf("re-derive: v=%v src=%v err=%v computes=%d", v, src, err, computes)
+	}
+
+	third := New()
+	third.AttachDisk(disk)
+	if v, src, err := third.Do(k, func() (bool, error) { return false, nil }); err != nil || !v || src != SrcDisk {
+		t.Fatalf("after re-derive: v=%v src=%v err=%v, want disk-served true", v, src, err)
 	}
 }
