@@ -43,6 +43,8 @@ func main() {
 	incrementalOut := flag.String("incremental-out", "", "write the incremental speedup results as a JSON trajectory point (e.g. BENCH_incremental.json)")
 	interningBench := flag.Bool("interning-bench", false, "run the hash-consed-IR speedup experiment only")
 	interningOut := flag.String("interning-out", "", "write the interning speedup results as a JSON trajectory point (e.g. BENCH_interning.json)")
+	serviceBench := flag.Bool("service-bench", false, "run the rehearsald warm-substrate throughput experiment only")
+	serviceOut := flag.String("service-out", "", "write the service throughput results as a JSON trajectory point (e.g. BENCH_service.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-check timeout (paper: 10 minutes)")
@@ -83,6 +85,8 @@ func main() {
 		printIncremental(*timeout, *incrementalOut)
 	case *interningBench:
 		printInterning(*timeout, *interningOut)
+	case *serviceBench:
+		printService(*timeout, *serviceOut)
 	case *fig == "":
 		printFig11a(*timeout)
 		printFig11b(*timeout)
@@ -93,6 +97,7 @@ func main() {
 		printParallel(*timeout, *parallelOut)
 		printIncremental(*timeout, *incrementalOut)
 		printInterning(*timeout, *interningOut)
+		printService(*timeout, *serviceOut)
 	case *fig == "11a":
 		printFig11a(*timeout)
 	case *fig == "11b":
@@ -284,6 +289,36 @@ func printInterning(timeout time.Duration, out string) {
 		rep.EncodeColdSpeedup, rep.EncodeWarmSpeedup, rep.DiskWarmSpeedup)
 	fmt.Printf("digest micro-series: %d exprs x %d passes, plain %.4fs vs interned %.4fs (%.0fx)\n\n",
 		rep.Digest.Exprs, rep.Digest.Passes, rep.Digest.PlainSeconds, rep.Digest.InternedSeconds, rep.Digest.Speedup)
+	if out != "" {
+		if err := rep.Write(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+func printService(timeout time.Duration, out string) {
+	if timeout < time.Minute {
+		timeout = time.Minute
+	}
+	rep, err := experiments.BuildServiceReport(timeout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== rehearsald: warm-substrate service throughput ==")
+	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
+	fmt.Printf("%-8s %-10s %6s %10s %10s %10s %10s %8s %10s %8s\n",
+		"workers", "round", "jobs", "time", "jobs/s", "p50", "p99", "queries", "cache-hits", "deduped")
+	for _, r := range rep.Rows {
+		fmt.Printf("%-8d %-10s %6d %9.3fs %10.1f %8.1fms %8.1fms %8d %10d %8d\n",
+			r.Workers, r.Round, r.Jobs, r.Seconds, r.JobsPerSec,
+			r.P50MS, r.P99MS, r.Queries, r.CacheHits, r.Deduped)
+	}
+	for _, s := range rep.Speedups {
+		fmt.Printf("workers=%d: warm substrate %.2fx over cold, resubmission %.2fx over cold\n",
+			s.Workers, s.WarmOverCold, s.ResubmitOverCold)
+	}
+	fmt.Println()
 	if out != "" {
 		if err := rep.Write(out); err != nil {
 			fatal(err)

@@ -22,6 +22,10 @@
 // order. With -cache-dir, verdicts additionally persist on disk, so a
 // later rehearsal process pointed at the same directory starts warm.
 //
+// With -json, each manifest's report is emitted as one machine-readable
+// JSON document on stdout — the same schema the rehearsald service returns
+// for finished jobs — and human-oriented statistics (-stats) go to stderr.
+//
 // With -pkg-server, package listings come from a live service; the client
 // retries transient failures (per-attempt timeout -net-timeout, total
 // attempts -net-retries) and, when -snapshot names a catalog snapshot
@@ -43,6 +47,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -58,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fs"
 	"repro/internal/pkgdb"
+	"repro/internal/service"
 )
 
 func main() {
@@ -73,6 +79,7 @@ type options struct {
 	snapshot   string
 	allPlats   bool
 	dot        bool
+	jsonOut    bool
 	verbose    bool
 	stats      bool
 	skipIdem   bool
@@ -148,6 +155,7 @@ func run(args []string) int {
 	skipIdem := fl.Bool("skip-idempotence", false, "only check determinism")
 	invariant := fl.String("invariant", "", "check a file invariant, formatted path=content")
 	dot := fl.Bool("dot", false, "print the resource graph in Graphviz format and exit")
+	jsonOut := fl.Bool("json", false, "emit one JSON report per manifest on stdout (the rehearsald job-report schema)")
 	suggest := fl.Bool("suggest", false, "on non-determinism, search for missing dependencies that repair the manifest")
 	parallel := fl.Int("parallel", 0, "worker count for solver queries and concurrent manifests (0 = number of CPUs)")
 	verbose := fl.Bool("v", false, "print analysis statistics")
@@ -188,6 +196,7 @@ func run(args []string) int {
 		snapshot:   *snapshot,
 		allPlats:   *allPlatforms,
 		dot:        *dot,
+		jsonOut:    *jsonOut,
 		verbose:    *verbose,
 		stats:      *stats,
 		skipIdem:   *skipIdem,
@@ -209,13 +218,16 @@ func run(args []string) int {
 	}
 
 	// Several manifests: check them concurrently, each writing into its
-	// own buffer, and print the blocks in argument order.
+	// own pair of buffers (stdout-bound and stderr-bound, so -stats and
+	// diagnostics never pollute machine-readable output), and print the
+	// blocks in argument order.
 	workers := copts.Parallelism
 	if workers <= 0 {
 		workers = len(paths)
 	}
 	codes := make([]int, len(paths))
-	bufs := make([]bytes.Buffer, len(paths))
+	outBufs := make([]bytes.Buffer, len(paths))
+	errBufs := make([]bytes.Buffer, len(paths))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, path := range paths {
@@ -224,14 +236,20 @@ func run(args []string) int {
 		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem; wg.Done() }()
-			codes[i] = checkManifest(&bufs[i], &bufs[i], path, opts)
+			codes[i] = checkManifest(&outBufs[i], &errBufs[i], path, opts)
 		}()
 	}
 	wg.Wait()
 	worst := 0
 	for i, path := range paths {
-		fmt.Printf("=== %s ===\n", path)
-		os.Stdout.Write(bufs[i].Bytes())
+		if !opts.jsonOut {
+			fmt.Printf("=== %s ===\n", path)
+		}
+		os.Stdout.Write(outBufs[i].Bytes())
+		if errBufs[i].Len() > 0 {
+			fmt.Fprintf(os.Stderr, "=== %s ===\n", path)
+			os.Stderr.Write(errBufs[i].Bytes())
+		}
 		if codes[i] > worst {
 			worst = codes[i]
 		}
@@ -274,9 +292,62 @@ func checkManifest(w, ew io.Writer, path string, opts options) int {
 	return verifyOne(w, ew, path, string(src), opts)
 }
 
+// verifyJSON runs the shared service report pipeline over one manifest and
+// prints the report as a single JSON document: the CLI's -json mode and a
+// rehearsald job produce byte-identical report bodies for the same input.
+func verifyJSON(w, ew io.Writer, path, src string, opts options) int {
+	if opts.invariant != "" && !strings.Contains(opts.invariant, "=") {
+		fmt.Fprintln(ew, "rehearsal: -invariant must be path=content")
+		return 2
+	}
+	req := service.JobRequest{
+		Manifest:        src,
+		Platform:        opts.core.Platform,
+		Node:            opts.core.NodeName,
+		Checks:          []string{service.CheckDeterminism},
+		Invariant:       opts.invariant,
+		SemanticCommute: opts.core.SemanticCommute,
+		WellFormedInit:  opts.core.WellFormedInit,
+	}
+	if !opts.skipIdem {
+		req.Checks = append(req.Checks, service.CheckIdempotence)
+	}
+	if opts.suggest {
+		req.Checks = append(req.Checks, service.CheckRepair)
+	}
+	rep := service.BuildReport(req, opts.core)
+	rep.Manifest = path
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(ew, "rehearsal: %v\n", err)
+		return 4
+	}
+	return exitFromReport(rep)
+}
+
+// exitFromReport maps a JSON report to the CLI's exit-code classes.
+func exitFromReport(rep *service.Report) int {
+	if rep.Error != nil {
+		switch rep.Error.Class {
+		case service.ClassTimeout, service.ClassCanceled:
+			return 3
+		case service.ClassInfra:
+			return 4
+		}
+	}
+	if rep.Verdict == service.VerdictPass {
+		return 0
+	}
+	return 1
+}
+
 // verifyOne loads and verifies the manifest under one option set,
 // printing results; it returns the process exit code.
 func verifyOne(w, ew io.Writer, path, src string, opts options) int {
+	if opts.jsonOut {
+		return verifyJSON(w, ew, path, src, opts)
+	}
 	sys, err := core.Load(src, opts.core)
 	if err != nil {
 		fmt.Fprintf(ew, "rehearsal: %v\n", err)
@@ -303,10 +374,12 @@ func verifyOne(w, ew io.Writer, path, src string, opts options) int {
 		}
 	}
 	if opts.stats {
-		fmt.Fprintf(w, "  solver-queries=%d solver-reuses=%d learnt-retained=%d preprocess-removed=%d\n",
+		// Statistics are diagnostics, not results: stderr, so stdout stays
+		// clean for verdicts (and pipelines scraping them).
+		fmt.Fprintf(ew, "  solver-queries=%d solver-reuses=%d learnt-retained=%d preprocess-removed=%d\n",
 			res.Stats.SemQueries, res.Stats.SolverReuses,
 			res.Stats.LearntRetained, res.Stats.PreprocessRemoved)
-		fmt.Fprintf(w, "  intern-hits=%d encode-memo-hits=%d disk-cache-hits=%d\n",
+		fmt.Fprintf(ew, "  intern-hits=%d encode-memo-hits=%d disk-cache-hits=%d\n",
 			res.Stats.InternHits, res.Stats.EncodeMemoHits, res.Stats.DiskCacheHits)
 	}
 	if !res.Deterministic {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http/httptest"
 	"os"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/pkgdb"
+	"repro/internal/service"
 )
 
 // runCapture invokes run with the given args, capturing stdout.
@@ -359,5 +361,114 @@ func TestParallelFlagVerbose(t *testing.T) {
 	}
 	if !strings.Contains(out, "workers=3") {
 		t.Errorf("missing workers stat:\n%s", out)
+	}
+}
+
+// runCapture2 invokes run capturing stdout and stderr separately.
+func runCapture2(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	ro, wo, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, we, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout, os.Stderr = wo, we
+	code := run(args)
+	wo.Close()
+	we.Close()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	out, err := io.ReadAll(ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOut, err := io.ReadAll(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out), string(errOut)
+}
+
+// TestJSONMode: -json emits one report document per manifest on stdout, in
+// the service's job-report schema, with the usual exit-code classes.
+func TestJSONMode(t *testing.T) {
+	code, out := runCapture(t, "-json", writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	var rep service.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stdout is not one JSON report: %v\n%s", err, out)
+	}
+	if rep.Verdict != service.VerdictPass || rep.Resources != 2 {
+		t.Errorf("report: %+v", rep)
+	}
+	if rep.Determinism == nil || !rep.Determinism.Ok || rep.Idempotence == nil || !rep.Idempotence.Ok {
+		t.Errorf("check reports: det=%+v idem=%+v", rep.Determinism, rep.Idempotence)
+	}
+	if rep.Stats == nil {
+		t.Error("report should embed engine stats")
+	}
+
+	// A failing manifest: verdict fail, witness inline, exit 1.
+	code, out = runCapture(t, "-json", "-suggest", writeManifest(t, buggyManifest))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != service.VerdictFail || rep.Determinism.Ok {
+		t.Errorf("report: %+v", rep)
+	}
+	if rep.Determinism.Witness == nil || len(rep.Determinism.Witness.Order1) == 0 {
+		t.Errorf("witness: %+v", rep.Determinism.Witness)
+	}
+	if rep.Repair == nil || !rep.Repair.Found || len(rep.Repair.Edges) == 0 {
+		t.Errorf("repair: %+v", rep.Repair)
+	}
+
+	// A dependency cycle: structured reason naming resources, exit 1.
+	cyclic := `
+package {'ntp': ensure => present, require => Package['git'] }
+package {'git': ensure => present, require => Package['ntp'] }
+`
+	code, out = runCapture(t, "-json", writeManifest(t, cyclic))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Error == nil || rep.Error.Class != service.ClassManifest || len(rep.Error.Cycle) == 0 {
+		t.Errorf("cycle reason: %+v", rep.Error)
+	}
+}
+
+// TestStatsOnStderr: -stats diagnostics go to stderr, keeping stdout clean
+// for verdicts and JSON.
+func TestStatsOnStderr(t *testing.T) {
+	code, out, errOut := runCapture2(t, "-stats", writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if strings.Contains(out, "solver-queries=") {
+		t.Errorf("-stats leaked onto stdout:\n%s", out)
+	}
+	if !strings.Contains(errOut, "solver-queries=") || !strings.Contains(errOut, "disk-cache-hits=") {
+		t.Errorf("-stats missing from stderr:\n%s", errOut)
+	}
+
+	// JSON mode plus -stats: stdout stays a parseable document.
+	code, out, _ = runCapture2(t, "-json", "-stats", writeManifest(t, okManifest))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var rep service.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stdout not clean JSON with -stats: %v\n%s", err, out)
 	}
 }

@@ -337,18 +337,35 @@ func FromCatalog(cat *puppet.Catalog, opts Options) (*System, error) {
 	return &System{Catalog: cat, opts: opts, g: g, internHits: internHits, internMisses: internMisses}, nil
 }
 
-// describeCycle renders a dependency cycle with resource names (the
-// composition failure of figure 3b).
+// CycleError reports that the manifest's dependencies form a cycle (the
+// composition failure of figure 3b). Resources names the offending
+// resources in cycle order; tools that need a structured reason — the
+// service's failed job state, the CLI's -json output — read it instead of
+// parsing the message. It is a manifest error, not an infrastructure one:
+// re-running cannot succeed until the manifest changes.
+type CycleError struct {
+	// Resources are the resources forming the cycle, in order; the
+	// dependency from the last back to the first closes it.
+	Resources []string
+}
+
+func (e *CycleError) Error() string {
+	closed := make([]string, 0, len(e.Resources)+1)
+	closed = append(closed, e.Resources...)
+	if len(e.Resources) > 0 {
+		closed = append(closed, e.Resources[0])
+	}
+	return fmt.Sprintf("dependency cycle: %s", strings.Join(closed, " -> "))
+}
+
+// describeCycle renders a dependency cycle with resource names.
 func describeCycle(g *graph.Graph[*node]) error {
-	cycle := g.Cycle()
-	names := make([]string, 0, len(cycle)+1)
-	for _, n := range cycle {
-		names = append(names, g.Label(n).res.String())
+	var ce *graph.CycleError
+	err := g.CheckAcyclicNamed(func(n *node) string { return n.res.String() })
+	if !errors.As(err, &ce) {
+		return err // raced mutation; report whatever the graph said
 	}
-	if len(cycle) > 0 {
-		names = append(names, g.Label(cycle[0]).res.String())
-	}
-	return fmt.Errorf("dependency cycle: %s", strings.Join(names, " -> "))
+	return &CycleError{Resources: ce.Names}
 }
 
 // applyStages builds the stage DAG and adds inter-stage resource edges.

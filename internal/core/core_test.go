@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -103,6 +104,20 @@ func TestFig3bCompositionCycle(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "Package[") {
 		t.Errorf("cycle should name resources: %v", err)
+	}
+	// The error is structured: tools (the service's failure reasons, the
+	// CLI) can extract the resources in cycle order without parsing text.
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Load returned %T, want *core.CycleError", err)
+	}
+	if len(ce.Resources) < 2 {
+		t.Fatalf("cycle resources: %v", ce.Resources)
+	}
+	for _, r := range ce.Resources {
+		if !strings.HasPrefix(r, "Package[") {
+			t.Errorf("cycle entry %q should be a resource name", r)
+		}
 	}
 }
 

@@ -1,0 +1,122 @@
+package core
+
+// A Substrate is the warm, process-resident state a long-running
+// verification service amortizes across requests: the content-addressed
+// semantic-commutativity verdict cache (with its optional on-disk tier),
+// the package-listing provider with its in-memory listings, negative cache
+// and circuit breaker, and — by virtue of being process-wide already — the
+// incremental solver-pool registry (pool.go) and the hash-consing interner
+// (internal/fs). A one-shot CLI run pays all of these cold on every
+// invocation; a daemon builds one Substrate at boot and binds every job's
+// Options to it, so the ten-thousandth request starts as warm as the
+// second.
+//
+// A Substrate is safe for concurrent use: any number of goroutines may
+// construct Systems and run checks against options bound to the same
+// Substrate. The qcache layer is singleflight-deduplicated, the disk tier
+// uses atomic renames, the pkgdb client coalesces concurrent fetches, and
+// the solver pools hand each worker an isolated session. The differential
+// tests (substrate_test.go) pin the contract that matters: verdicts
+// produced through a shared warm Substrate are identical to fresh
+// single-shot runs.
+
+import (
+	"repro/internal/pkgdb"
+	"repro/internal/qcache"
+)
+
+// SubstrateConfig configures a shared substrate.
+type SubstrateConfig struct {
+	// CacheDir, when non-empty, attaches the on-disk verdict tier: semantic-
+	// commutativity verdicts survive process restarts, so a redeployed
+	// daemon starts warm.
+	CacheDir string
+	// QueryCacheCap bounds the in-memory verdict cache; 0 means
+	// qcache.DefaultCap, < 0 unbounded.
+	QueryCacheCap int
+	// Provider, when non-nil, is shared by every bound job — typically a
+	// hardened *pkgdb.Client whose listings cache, snapshot fallback and
+	// circuit breaker then amortize across requests. Nil leaves each job on
+	// the built-in catalog.
+	Provider pkgdb.Provider
+}
+
+// Substrate owns the cross-request warm state. Create one with
+// NewSubstrate and bind per-job Options to it with Bind.
+type Substrate struct {
+	cache    *qcache.Cache
+	disk     *qcache.Disk // nil without CacheDir
+	provider pkgdb.Provider
+}
+
+// NewSubstrate builds a substrate, opening the on-disk verdict tier when
+// configured.
+func NewSubstrate(cfg SubstrateConfig) (*Substrate, error) {
+	cap := cfg.QueryCacheCap
+	if cap == 0 {
+		cap = qcache.DefaultCap
+	}
+	s := &Substrate{
+		cache:    qcache.NewWithCap(cap),
+		provider: cfg.Provider,
+	}
+	if cfg.CacheDir != "" {
+		disk, err := qcache.OpenDiskShared(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		s.cache.AttachDisk(disk)
+	}
+	return s, nil
+}
+
+// Bind returns opts wired to the substrate's warm state: the shared
+// verdict cache (with the disk tier already attached, so opts.CacheDir is
+// cleared rather than re-opened per check) and, unless the options name
+// their own, the shared provider. Everything else in opts is preserved, so
+// per-job knobs — platform, timeout, context, parallelism — keep working.
+func (s *Substrate) Bind(opts Options) Options {
+	opts.SharedQueryCache = s.cache
+	opts.CacheDir = "" // the disk tier is attached to the substrate cache
+	if opts.Provider == nil {
+		opts.Provider = s.provider
+	}
+	return opts
+}
+
+// QueryCacheStats snapshots the shared verdict cache's counters.
+func (s *Substrate) QueryCacheStats() qcache.Stats {
+	return s.cache.StatsSnapshot()
+}
+
+// DiskStats snapshots the on-disk tier's counters; ok is false when the
+// substrate has no disk tier.
+func (s *Substrate) DiskStats() (stats qcache.DiskStats, ok bool) {
+	if s.disk == nil {
+		return qcache.DiskStats{}, false
+	}
+	return s.disk.StatsSnapshot(), true
+}
+
+// ClientStats snapshots the shared provider's client counters; ok is false
+// when the provider is not a *pkgdb.Client (or is nil).
+func (s *Substrate) ClientStats() (stats pkgdb.ClientStats, ok bool) {
+	c, isClient := s.provider.(*pkgdb.Client)
+	if !isClient {
+		return pkgdb.ClientStats{}, false
+	}
+	return c.Stats(), true
+}
+
+// ProviderHealthy reports whether the shared provider is currently able to
+// serve queries: true when there is no shared client, or when the client's
+// circuit breaker is closed. Readiness probes use it to take a daemon out
+// of rotation while its listing service is down.
+func (s *Substrate) ProviderHealthy() bool {
+	c, isClient := s.provider.(*pkgdb.Client)
+	if !isClient {
+		return true
+	}
+	return !c.BreakerOpen()
+}

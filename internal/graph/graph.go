@@ -140,19 +140,47 @@ func (g *Graph[L]) Clone() *Graph[L] {
 	return c
 }
 
-// CheckAcyclic returns nil when the graph has no directed cycle, or an
-// error describing one cycle (as a node sequence) otherwise.
+// CycleError reports one directed cycle found where the caller required a
+// DAG. It names the offending vertices — by their labels, not their
+// internal node numbers — so a user can see which resources form the
+// cycle; callers with richer labels can render their own names via
+// CheckAcyclicNamed.
+type CycleError struct {
+	// Nodes are the vertices of the cycle in order; the edge from the last
+	// back to the first closes it.
+	Nodes []Node
+	// Names are the rendered labels of Nodes, index-aligned.
+	Names []string
+}
+
+func (e *CycleError) Error() string {
+	closed := make([]string, 0, len(e.Names)+1)
+	closed = append(closed, e.Names...)
+	if len(e.Names) > 0 {
+		closed = append(closed, e.Names[0])
+	}
+	return fmt.Sprintf("graph: dependency cycle: %s", strings.Join(closed, " -> "))
+}
+
+// CheckAcyclic returns nil when the graph has no directed cycle, or a
+// *CycleError naming one cycle by vertex labels otherwise.
 func (g *Graph[L]) CheckAcyclic() error {
+	return g.CheckAcyclicNamed(func(l L) string { return fmt.Sprint(l) })
+}
+
+// CheckAcyclicNamed is CheckAcyclic with a caller-supplied label renderer,
+// for graphs whose labels do not print usefully with fmt (e.g. pointers to
+// compiled resources).
+func (g *Graph[L]) CheckAcyclicNamed(name func(L) string) error {
 	cycle := g.Cycle()
 	if cycle == nil {
 		return nil
 	}
-	names := make([]string, 0, len(cycle)+1)
+	names := make([]string, 0, len(cycle))
 	for _, c := range cycle {
-		names = append(names, fmt.Sprint(c))
+		names = append(names, name(g.labels[c]))
 	}
-	names = append(names, fmt.Sprint(cycle[0]))
-	return fmt.Errorf("graph: dependency cycle: %s", strings.Join(names, " -> "))
+	return &CycleError{Nodes: cycle, Names: names}
 }
 
 // Cycle returns one directed cycle as a node slice, or nil if acyclic.

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -113,6 +114,55 @@ func TestAcyclic(t *testing.T) {
 	for i := range cyc {
 		if !g.HasEdge(cyc[i], cyc[(i+1)%len(cyc)]) {
 			t.Errorf("edge %v → %v missing in reported cycle %v", cyc[i], cyc[(i+1)%len(cyc)], cyc)
+		}
+	}
+}
+
+// TestCycleErrorNamesNodes: the error from CheckAcyclic is a structured
+// *CycleError whose Names renders the offending labels in cycle order, and
+// CheckAcyclicNamed lets callers substitute richer names.
+func TestCycleErrorNamesNodes(t *testing.T) {
+	g, _, b, c, _ := diamond()
+	if err := g.AddEdge(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(c, b); err != nil {
+		t.Fatal(err)
+	}
+	err := g.CheckAcyclic()
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("CheckAcyclic returned %T, want *CycleError", err)
+	}
+	if len(ce.Names) != len(ce.Nodes) || len(ce.Names) < 2 {
+		t.Fatalf("CycleError names %v nodes %v", ce.Names, ce.Nodes)
+	}
+	// The labels of the b↔c cycle must appear, and the message must show
+	// the cycle closed back on its first node.
+	for _, want := range []string{"b", "c"} {
+		found := false
+		for _, n := range ce.Names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cycle names %v missing %q", ce.Names, want)
+		}
+	}
+	if !strings.Contains(err.Error(), ce.Names[0]) ||
+		!strings.Contains(err.Error(), " -> ") {
+		t.Errorf("error text should render the cycle path: %q", err.Error())
+	}
+
+	// A custom namer decorates every node.
+	err = g.CheckAcyclicNamed(func(l string) string { return "Node[" + l + "]" })
+	if !errors.As(err, &ce) {
+		t.Fatalf("CheckAcyclicNamed returned %T", err)
+	}
+	for _, n := range ce.Names {
+		if !strings.HasPrefix(n, "Node[") {
+			t.Errorf("custom namer not applied: %v", ce.Names)
 		}
 	}
 }

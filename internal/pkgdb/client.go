@@ -227,6 +227,12 @@ func (c *Client) AttachSnapshotCatalog(cat *Catalog) {
 	c.mu.Unlock()
 }
 
+// BreakerOpen reports whether the circuit breaker is currently refusing
+// requests: the service has failed consecutively past the threshold and
+// the cooldown window has not yet passed. Health probes (a daemon's
+// /readyz) use it to reflect listing-service availability.
+func (c *Client) BreakerOpen() bool { return !c.breaker.allow() }
+
 // Stats returns a snapshot of the client's counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{

@@ -1,0 +1,274 @@
+package service
+
+// Job lifecycle and the job store. The store is both the lifecycle index
+// (GET /v1/jobs/{id}) and the warm result layer: finished jobs stay
+// addressable by their request key for ResultTTL, so re-submitting the
+// same manifest within the window is answered without enqueueing anything
+// — the second pillar of request dedup next to singleflight coalescing of
+// concurrent submissions.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// The job lifecycle: queued → running → one of the three terminal states.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"     // a verdict was produced (pass or fail)
+	JobFailed   JobState = "failed"   // no verdict: manifest, timeout or infra failure
+	JobCanceled JobState = "canceled" // canceled before a verdict (DELETE or drain)
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Job is one verification job. All mutable fields are guarded by mu; the
+// request and identity fields are immutable after creation.
+type Job struct {
+	ID      string
+	Key     string
+	Req     JobRequest
+	Created time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	report   *Report
+	reason   *ErrorReport
+	cancel   context.CancelFunc // set while running
+	done     chan struct{}      // closed on any terminal transition
+}
+
+func newJob(id string, req JobRequest) *Job {
+	return &Job{
+		ID:      id,
+		Key:     req.Key(),
+		Req:     req,
+		Created: time.Now(),
+		state:   JobQueued,
+		done:    make(chan struct{}),
+	}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Report returns the job's report; nil until the job finished.
+func (j *Job) Report() *Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// start transitions queued → running, recording the cancel hook; it
+// reports false when the job is no longer queued (canceled while waiting).
+func (j *Job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records the report and moves to the matching terminal state.
+func (j *Job) finish(rep *Report) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.report = rep
+	j.finished = time.Now()
+	switch {
+	case rep.Error == nil:
+		j.state = JobDone
+	case rep.Error.Class == ClassCanceled:
+		j.state = JobCanceled
+		j.reason = rep.Error
+	default:
+		j.state = JobFailed
+		j.reason = rep.Error
+	}
+	j.cancel = nil
+	close(j.done)
+}
+
+// requestCancel asks the job to stop: a queued job is canceled on the
+// spot, a running one has its context canceled (the worker will observe
+// ErrCanceled and finish the job as canceled). It reports whether the
+// request had any effect.
+func (j *Job) requestCancel(reason string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobCanceled
+		j.finished = time.Now()
+		j.reason = &ErrorReport{Class: ClassCanceled, Message: reason}
+		close(j.done)
+		return true
+	case JobRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// View renders the job for JSON responses.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.ID,
+		State:   j.state,
+		Created: j.Created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.state.Terminal() {
+		v.Report = j.report
+		v.Reason = j.reason
+	}
+	return v
+}
+
+// JobView is the JSON shape of a job in API responses.
+type JobView struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Deduped  bool     `json:"deduped,omitempty"` // this submission coalesced onto existing work
+	Created  string   `json:"created,omitempty"`
+	Started  string   `json:"started,omitempty"`
+	Finished string   `json:"finished,omitempty"`
+	Report   *Report  `json:"report,omitempty"`
+	// Reason is the structured failure reason of a failed or canceled job
+	// (duplicated from Report.Error when a report exists).
+	Reason *ErrorReport `json:"reason,omitempty"`
+}
+
+// jobStore indexes jobs by ID and by request key, bounded by a record cap
+// (oldest terminal jobs evicted first) and a TTL on the result layer.
+type jobStore struct {
+	cap int
+	ttl time.Duration
+	now func() time.Time // test hook
+
+	mu    sync.Mutex
+	byID  map[string]*Job
+	byKey map[string]*Job
+	order []*Job // insertion order, eviction scan
+}
+
+func newJobStore(cap int, ttl time.Duration) *jobStore {
+	return &jobStore{
+		cap:   cap,
+		ttl:   ttl,
+		now:   time.Now,
+		byID:  make(map[string]*Job),
+		byKey: make(map[string]*Job),
+	}
+}
+
+// expired reports whether a terminal job has outlived the result TTL.
+func (s *jobStore) expired(j *Job) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal() && !j.finished.IsZero() &&
+		s.ttl > 0 && s.now().Sub(j.finished) > s.ttl
+}
+
+// get returns the job by ID.
+func (s *jobStore) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// lookupKey returns the live or still-fresh job for a request key. Expired
+// results are dropped from the key index so the caller re-runs the work.
+func (s *jobStore) lookupKey(key string) (*Job, bool) {
+	s.mu.Lock()
+	j, ok := s.byKey[key]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if s.expired(j) {
+		s.mu.Lock()
+		if s.byKey[key] == j {
+			delete(s.byKey, key)
+		}
+		s.mu.Unlock()
+		return nil, false
+	}
+	return j, true
+}
+
+// insert registers a new job, evicting the oldest terminal records beyond
+// the cap. Live (queued/running) jobs are never evicted — admission
+// control bounds how many of those can exist.
+func (s *jobStore) insert(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[j.ID] = j
+	s.byKey[j.Key] = j
+	s.order = append(s.order, j)
+	if s.cap <= 0 || len(s.byID) <= s.cap {
+		return
+	}
+	kept := s.order[:0]
+	for i, old := range s.order {
+		if len(s.byID) <= s.cap {
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		if old.State().Terminal() {
+			delete(s.byID, old.ID)
+			if s.byKey[old.Key] == old {
+				delete(s.byKey, old.Key)
+			}
+			continue
+		}
+		kept = append(kept, old)
+	}
+	s.order = kept
+}
+
+// counts tallies jobs by state.
+func (s *jobStore) counts() map[JobState]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[JobState]int, 5)
+	for _, j := range s.byID {
+		out[j.State()]++
+	}
+	return out
+}

@@ -1,0 +1,590 @@
+package service
+
+// End-to-end tests of the daemon: job lifecycle over HTTP, the dedup /
+// result layer (a second identical submission must cost zero new solver
+// queries), admission control, cancellation and graceful drain. A gated
+// package-listing provider makes the concurrency deterministic: jobs whose
+// manifests reference packages block inside Load until the test releases
+// the gate (or their context is canceled).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pkgdb"
+)
+
+const okManifest = `
+package {'ntp': ensure => present }
+file {'/etc/ntp.conf': content => 'server pool.ntp.org', require => Package['ntp'] }
+`
+
+const buggyManifest = `
+package {'ntp': ensure => present }
+file {'/etc/ntp.conf': content => 'server pool.ntp.org' }
+`
+
+const cycleManifest = `
+package {'ntp': ensure => present, require => Package['git'] }
+package {'git': ensure => present, require => Package['ntp'] }
+`
+
+// semManifest issues a semantic-commutativity solver query: gcc's closure
+// pulls in make, so the pair writes overlapping paths and does not commute
+// syntactically. The closures are small enough to stay fast under -race.
+const semManifest = `
+package {'make': ensure => present }
+package {'gcc': ensure => present }
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return svc, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req JobRequest) (JobView, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view JobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return view, resp.StatusCode
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// waitTerminal polls the job until it reaches a terminal state.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		view := getJob(t, ts, id)
+		if view.State.Terminal() {
+			return view
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return JobView{}
+}
+
+func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := fmt.Fprint(&b, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// metricValue extracts one un-labelled counter from a metrics scrape.
+func metricValue(t *testing.T, scrape, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(scrape, "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 && strings.HasPrefix(line, name+" ") {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in scrape:\n%s", name, scrape)
+	return 0
+}
+
+func TestJobLifecycleOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// A passing manifest.
+	view, status := postJob(t, ts, JobRequest{Manifest: okManifest})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d", status)
+	}
+	if view.ID == "" || view.Deduped {
+		t.Fatalf("unexpected accepted view: %+v", view)
+	}
+	final := waitTerminal(t, ts, view.ID)
+	if final.State != JobDone {
+		t.Fatalf("state %s, want done (reason %+v)", final.State, final.Reason)
+	}
+	if final.Report == nil || final.Report.Verdict != VerdictPass {
+		t.Fatalf("report: %+v", final.Report)
+	}
+	if final.Report.Determinism == nil || !final.Report.Determinism.Ok {
+		t.Fatalf("determinism report: %+v", final.Report.Determinism)
+	}
+
+	// No witness for a passing job.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/witness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("witness of passing job: status %d, want 404", resp.StatusCode)
+	}
+
+	// A failing manifest exposes its witness as a separate document.
+	view2, _ := postJob(t, ts, JobRequest{Manifest: buggyManifest})
+	final2 := waitTerminal(t, ts, view2.ID)
+	if final2.State != JobDone || final2.Report.Verdict != VerdictFail {
+		t.Fatalf("buggy job: state %s report %+v", final2.State, final2.Report)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + view2.ID + "/witness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wit Witness
+	if err := json.NewDecoder(resp.Body).Decode(&wit); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(wit.Order1) == 0 || len(wit.Order2) == 0 {
+		t.Fatalf("witness: status %d doc %+v", resp.StatusCode, wit)
+	}
+
+	// A cyclic manifest ends in the failed state with a structured reason
+	// naming the offending resources.
+	view3, _ := postJob(t, ts, JobRequest{Manifest: cycleManifest})
+	final3 := waitTerminal(t, ts, view3.ID)
+	if final3.State != JobFailed || final3.Report.Verdict != VerdictFail {
+		t.Fatalf("cycle job: state %s verdict %+v", final3.State, final3.Report)
+	}
+	if final3.Reason == nil || final3.Reason.Class != ClassManifest ||
+		len(final3.Reason.Cycle) == 0 {
+		t.Fatalf("cycle reason: %+v", final3.Reason)
+	}
+	for _, res := range final3.Reason.Cycle {
+		if !strings.Contains(res, "Package[") {
+			t.Errorf("cycle entry %q should name a resource", res)
+		}
+	}
+
+	// Unknown jobs and bad bodies.
+	resp, err = http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d", resp.StatusCode)
+	}
+	if _, status := postJob(t, ts, JobRequest{}); status != http.StatusBadRequest {
+		t.Errorf("empty manifest: status %d, want 400", status)
+	}
+	if _, status := postJob(t, ts, JobRequest{Manifest: okManifest, Checks: []string{"nope"}}); status != http.StatusBadRequest {
+		t.Errorf("bad check: status %d, want 400", status)
+	}
+}
+
+// TestDedupSecondSubmissionZeroQueries is the acceptance criterion of the
+// dedup layer: re-submitting an identical manifest within the result TTL
+// is answered from the finished job — zero new solver queries, asserted
+// through /metrics.
+func TestDedupSecondSubmissionZeroQueries(t *testing.T) {
+	core.ResetSolverPools()
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// Determinism only: the point is the solver-query counter, and the
+	// idempotence check over these packages' large closures is slow under
+	// the race detector.
+	req := JobRequest{Manifest: semManifest, SemanticCommute: true, Checks: []string{CheckDeterminism}}
+	view, _ := postJob(t, ts, req)
+	first := waitTerminal(t, ts, view.ID)
+	if first.State != JobDone {
+		t.Fatalf("first run: %+v", first)
+	}
+	before := scrapeMetrics(t, ts)
+	queries := metricValue(t, before, "rehearsald_solver_queries_total")
+	if queries == 0 {
+		t.Fatal("expected the first run to issue solver queries")
+	}
+
+	view2, status := postJob(t, ts, req)
+	if status != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", status)
+	}
+	if !view2.Deduped {
+		t.Fatalf("resubmission not marked deduped: %+v", view2)
+	}
+	if view2.ID != view.ID {
+		t.Fatalf("resubmission got a new job: %s vs %s", view2.ID, view.ID)
+	}
+	if view2.State != JobDone || view2.Report == nil {
+		t.Fatalf("resubmission should carry the finished report: %+v", view2)
+	}
+
+	after := scrapeMetrics(t, ts)
+	if q2 := metricValue(t, after, "rehearsald_solver_queries_total"); q2 != queries {
+		t.Errorf("second submission cost %d new solver queries, want 0", q2-queries)
+	}
+	if hits := metricValue(t, after, "rehearsald_result_hits_total"); hits < 1 {
+		t.Errorf("result_hits_total = %d, want >= 1", hits)
+	}
+	if subs := metricValue(t, after, "rehearsald_jobs_submitted_total"); subs != 1 {
+		t.Errorf("jobs_submitted_total = %d, want 1 (no second job created)", subs)
+	}
+}
+
+// gateProvider wraps the built-in catalog but blocks every context-aware
+// query until the gate channel is closed (or the context is canceled),
+// making job concurrency deterministic in tests.
+type gateProvider struct {
+	cat  pkgdb.Provider
+	gate chan struct{}
+}
+
+func newGateProvider() *gateProvider {
+	return &gateProvider{cat: pkgdb.DefaultCatalog(), gate: make(chan struct{})}
+}
+
+func (g *gateProvider) wait(ctx context.Context) error {
+	select {
+	case <-g.gate:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gateProvider) Lookup(platform, name string) (*pkgdb.Package, error) {
+	<-g.gate
+	return g.cat.Lookup(platform, name)
+}
+
+func (g *gateProvider) Closure(platform, name string) ([]*pkgdb.Package, error) {
+	<-g.gate
+	return g.cat.Closure(platform, name)
+}
+
+func (g *gateProvider) ReverseDependents(platform, name string) ([]*pkgdb.Package, error) {
+	<-g.gate
+	return g.cat.ReverseDependents(platform, name)
+}
+
+func (g *gateProvider) LookupContext(ctx context.Context, platform, name string) (*pkgdb.Package, error) {
+	if err := g.wait(ctx); err != nil {
+		return nil, err
+	}
+	return g.cat.Lookup(platform, name)
+}
+
+func (g *gateProvider) ClosureContext(ctx context.Context, platform, name string) ([]*pkgdb.Package, error) {
+	if err := g.wait(ctx); err != nil {
+		return nil, err
+	}
+	return g.cat.Closure(platform, name)
+}
+
+func (g *gateProvider) ReverseDependentsContext(ctx context.Context, platform, name string) ([]*pkgdb.Package, error) {
+	if err := g.wait(ctx); err != nil {
+		return nil, err
+	}
+	return g.cat.ReverseDependents(platform, name)
+}
+
+// waitRunning polls until the job leaves the queued state.
+func waitRunning(t *testing.T, job *Job) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := job.State(); st != JobQueued {
+			if st != JobRunning {
+				t.Fatalf("job jumped to %s", st)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("job never started")
+}
+
+func pkgManifest(name string) string {
+	return fmt.Sprintf("package {'%s': ensure => present }\n", name)
+}
+
+// detOnly keeps gate-provider jobs cheap: single-resource manifests are
+// trivially deterministic, and skipping idempotence avoids symbolically
+// executing a large package closure under the race detector.
+func detOnly(manifest string) JobRequest {
+	return JobRequest{Manifest: manifest, Checks: []string{CheckDeterminism}}
+}
+
+// TestAdmissionControlAndCancel: with one worker and a queue depth of one,
+// a third distinct submission is rejected with 429 + Retry-After, and a
+// DELETE of the running job cancels it mid-run.
+func TestAdmissionControlAndCancel(t *testing.T) {
+	gp := newGateProvider()
+	sub, err := core.NewSubstrate(core.SubstrateConfig{Provider: gp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Substrate: sub})
+
+	viewA, _ := postJob(t, ts, detOnly(pkgManifest("ntp")))
+	jobA, ok := svc.sched.store.get(viewA.ID)
+	if !ok {
+		t.Fatal("job A not in store")
+	}
+	waitRunning(t, jobA) // the worker is now blocked on the gate
+
+	viewB, status := postJob(t, ts, detOnly(pkgManifest("git")))
+	if status != http.StatusAccepted {
+		t.Fatalf("job B: status %d", status)
+	}
+
+	// Queue full: the third distinct job is rejected.
+	body, _ := json.Marshal(detOnly(pkgManifest("gcc")))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job C: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Cancel the running job: its bound context unblocks the provider.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+viewA.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	finalA := waitTerminal(t, ts, viewA.ID)
+	if finalA.State != JobCanceled {
+		t.Fatalf("canceled job state %s, want canceled (reason %+v)", finalA.State, finalA.Reason)
+	}
+	if finalA.Reason == nil || finalA.Reason.Class != ClassCanceled {
+		t.Fatalf("cancel reason: %+v", finalA.Reason)
+	}
+
+	// Release the gate: the queued job now runs to completion.
+	close(gp.gate)
+	finalB := waitTerminal(t, ts, viewB.ID)
+	if finalB.State != JobDone || finalB.Report.Verdict != VerdictPass {
+		t.Fatalf("job B: state %s report %+v", finalB.State, finalB.Report)
+	}
+}
+
+// TestDrainCancelsInFlight is the SIGTERM acceptance criterion: Shutdown
+// stops admission, the running job finishes in the canceled state, the
+// queued job is canceled without running, and workers join.
+func TestDrainCancelsInFlight(t *testing.T) {
+	gp := newGateProvider()
+	sub, err := core.NewSubstrate(core.SubstrateConfig{Provider: gp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Workers: 1, QueueDepth: 4, Substrate: sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	viewA, _ := postJob(t, ts, detOnly(pkgManifest("ntp")))
+	jobA, _ := svc.sched.store.get(viewA.ID)
+	waitRunning(t, jobA)
+	viewB, _ := postJob(t, ts, detOnly(pkgManifest("git")))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if st := getJob(t, ts, viewA.ID).State; st != JobCanceled {
+		t.Errorf("in-flight job state %s, want canceled", st)
+	}
+	if st := getJob(t, ts, viewB.ID).State; st != JobCanceled {
+		t.Errorf("queued job state %s, want canceled", st)
+	}
+
+	// Admission is closed and readiness reflects it.
+	if _, status := postJob(t, ts, JobRequest{Manifest: okManifest}); status != http.StatusServiceUnavailable {
+		t.Errorf("submit while drained: status %d, want 503", status)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain: status %d, want 503", resp.StatusCode)
+	}
+
+	// A second Shutdown is a no-op, not a panic.
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+// TestConcurrentIdenticalSubmissions: many goroutines posting the same
+// request must coalesce onto one job.
+func TestConcurrentIdenticalSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := JobRequest{Manifest: okManifest}
+	const n = 16
+	ids := make(chan string, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			view, status := postJob(t, ts, req)
+			if status != http.StatusAccepted {
+				ids <- fmt.Sprintf("status-%d", status)
+				return
+			}
+			ids <- view.ID
+		}()
+	}
+	first := ""
+	for i := 0; i < n; i++ {
+		id := <-ids
+		if strings.HasPrefix(id, "status-") {
+			t.Fatalf("submission rejected: %s", id)
+		}
+		if first == "" {
+			first = id
+		} else if id != first {
+			t.Fatalf("identical submissions produced distinct jobs: %s vs %s", id, first)
+		}
+	}
+	if final := waitTerminal(t, ts, first); final.State != JobDone {
+		t.Fatalf("coalesced job: %+v", final)
+	}
+}
+
+func TestRequestKeyNormalization(t *testing.T) {
+	a := JobRequest{Manifest: "m", Checks: []string{"idempotence", "determinacy"}}.Normalize()
+	b := JobRequest{Manifest: "m", Checks: []string{"determinism", "idempotence", "idempotence"}}.Normalize()
+	if a.Key() != b.Key() {
+		t.Error("aliased/duplicated check sets should share a key")
+	}
+	c := JobRequest{Manifest: "m"}.Normalize()
+	if a.Key() != c.Key() {
+		t.Error("the default check set is determinism+idempotence")
+	}
+	d := JobRequest{Manifest: "m", Platform: "centos"}.Normalize()
+	if c.Key() == d.Key() {
+		t.Error("platform must be part of the key")
+	}
+	e := JobRequest{Manifest: "m", TimeoutMS: 5000}.Normalize()
+	if c.Key() != e.Key() {
+		t.Error("the timeout must not be part of the key")
+	}
+}
+
+func TestJobStoreTTLAndEviction(t *testing.T) {
+	store := newJobStore(2, time.Minute)
+	now := time.Now()
+	store.now = func() time.Time { return now }
+
+	j1 := newJob("j1", JobRequest{Manifest: "a"}.Normalize())
+	store.insert(j1)
+	j1.finish(&Report{Verdict: VerdictPass})
+	if _, ok := store.lookupKey(j1.Key); !ok {
+		t.Fatal("fresh result should be served")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := store.lookupKey(j1.Key); ok {
+		t.Fatal("expired result still served")
+	}
+
+	// Eviction keeps live jobs and drops the oldest terminal ones.
+	j2 := newJob("j2", JobRequest{Manifest: "b"}.Normalize())
+	j3 := newJob("j3", JobRequest{Manifest: "c"}.Normalize())
+	j2.finish(&Report{Verdict: VerdictPass})
+	store.insert(j2)
+	store.insert(j3) // live
+	j4 := newJob("j4", JobRequest{Manifest: "d"}.Normalize())
+	store.insert(j4) // over cap: evicts terminal j1/j2, never live j3
+	if _, ok := store.get("j3"); !ok {
+		t.Error("live job evicted")
+	}
+	if _, ok := store.get("j1"); ok {
+		t.Error("oldest terminal job should be evicted first")
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	view, _ := postJob(t, ts, JobRequest{Manifest: okManifest})
+	waitTerminal(t, ts, view.ID)
+	scrape := scrapeMetrics(t, ts)
+	for _, want := range []string{
+		"rehearsald_up 1",
+		"rehearsald_ready 1",
+		"rehearsald_jobs_done_total 1",
+		`rehearsald_jobs{state="done"} 1`,
+		"rehearsald_job_latency_seconds_count 1",
+		`rehearsald_check_latency_seconds_bucket{check="determinism",le="+Inf"} 1`,
+		"rehearsald_qcache_hit_ratio",
+		"rehearsald_pkgdb_healthy 1",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("metrics scrape missing %q", want)
+		}
+	}
+}
