@@ -442,6 +442,39 @@ func BenchmarkInterningSpeedup(b *testing.B) {
 	})
 }
 
+// BenchmarkDiffSpeedup measures differential verification on the
+// synthetic edit workload: a full determinacy check of the head version
+// from a cold cache versus core.VerifyDiff against a base warmed into a
+// shared cache, at a 1-of-8-packages edit. The Native series runs real
+// in-process queries (the diff path still pays load and exploration, so
+// the gap is modest); the ModeledZ3 series adds a modeled external-
+// solver round trip per query — the work inheritance avoids. Soundness
+// (matching verdicts, exact inheritance, zero solver queries for
+// inherited pairs) is enforced inside experiments.DiffSpeedup; see
+// BENCH_diff.json for a recorded trajectory point (cmd/experiments
+// -diff-bench -diff-out BENCH_diff.json).
+func BenchmarkDiffSpeedup(b *testing.B) {
+	for _, series := range []struct {
+		name    string
+		latency time.Duration
+	}{{"Native", 0}, {"ModeledZ3", experiments.ModeledDiffQueryLatency}} {
+		series := series
+		b.Run(series.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.DiffSpeedup(5*time.Minute, 8, []int{12}, []int{4}, series.latency)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					b.ReportMetric(r.FullSeconds, "full-s")
+					b.ReportMetric(r.DiffSeconds, "diff-s")
+					b.ReportMetric(float64(r.PairsReused), "pairs-reused")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDynamicBaseline measures the dynamic enumeration baseline of
 // section 4.5 on a small benchmark, for comparison with the static check
 // (the paper reports hours of container time; the simulated baseline

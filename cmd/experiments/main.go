@@ -13,6 +13,8 @@
 //	                       incremental-backend speedup: fresh vs pooled solvers
 //	experiments -interning-bench [-interning-out BENCH_interning.json]
 //	                       hash-consed IR: encode memoization + disk verdict tier
+//	experiments -diff-bench [-diff-out BENCH_diff.json]
+//	                       differential verification: full re-check vs digest diff
 //	experiments            all of the above
 //
 // The -timeout flag stands in for the paper's 10-minute limit (default
@@ -45,6 +47,8 @@ func main() {
 	interningOut := flag.String("interning-out", "", "write the interning speedup results as a JSON trajectory point (e.g. BENCH_interning.json)")
 	serviceBench := flag.Bool("service-bench", false, "run the rehearsald warm-substrate throughput experiment only")
 	serviceOut := flag.String("service-out", "", "write the service throughput results as a JSON trajectory point (e.g. BENCH_service.json)")
+	diffBench := flag.Bool("diff-bench", false, "run the differential-verification speedup experiment only")
+	diffOut := flag.String("diff-out", "", "write the differential speedup results as a JSON trajectory point (e.g. BENCH_diff.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-check timeout (paper: 10 minutes)")
@@ -87,6 +91,8 @@ func main() {
 		printInterning(*timeout, *interningOut)
 	case *serviceBench:
 		printService(*timeout, *serviceOut)
+	case *diffBench:
+		printDiff(*timeout, *diffOut)
 	case *fig == "":
 		printFig11a(*timeout)
 		printFig11b(*timeout)
@@ -98,6 +104,7 @@ func main() {
 		printIncremental(*timeout, *incrementalOut)
 		printInterning(*timeout, *interningOut)
 		printService(*timeout, *serviceOut)
+		printDiff(*timeout, *diffOut)
 	case *fig == "11a":
 		printFig11a(*timeout)
 	case *fig == "11b":
@@ -319,6 +326,37 @@ func printService(timeout time.Duration, out string) {
 			s.Workers, s.WarmOverCold, s.ResubmitOverCold)
 	}
 	fmt.Println()
+	if out != "" {
+		if err := rep.Write(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+func printDiff(timeout time.Duration, out string) {
+	// The synthetic full runs sleep 25ms per query across 190 queries at
+	// one worker; give them headroom regardless of the figure timeout.
+	if timeout < 5*time.Minute {
+		timeout = 5 * time.Minute
+	}
+	rep, err := experiments.BuildDiffReport(timeout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Differential verification: full re-check vs digest-level diff ==")
+	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
+	fmt.Printf("%6s %6s %8s %10s %10s %8s %8s %8s %8s\n",
+		"edit%", "edited", "workers", "full", "diff", "speedup", "reused", "resolved", "misses")
+	for _, r := range rep.Synthetic {
+		fmt.Printf("%6d %6d %8d %9.3fs %9.3fs %7.1fx %8d %8d %8d\n",
+			r.EditPercent, r.EditedResources, r.Workers,
+			r.FullSeconds, r.DiffSeconds, r.Speedup,
+			r.PairsReused, r.PairsReverified, r.InheritMisses)
+	}
+	h := rep.Hosting
+	fmt.Printf("hosting.pp one-resource edit (%d worker, %dms modeled z3): full %.3fs vs diff %.3fs = %.1fx (%d pairs inherited, %d solver queries)\n\n",
+		h.Workers, h.ModeledLatencyMS, h.FullSeconds, h.DiffSeconds, h.Speedup, h.PairsReused, h.DiffQueries)
 	if out != "" {
 		if err := rep.Write(out); err != nil {
 			fatal(err)

@@ -14,6 +14,15 @@
 //	rehearsal -dot site.pp > graph.dot
 //	rehearsal -parallel 8 site1.pp site2.pp site3.pp
 //	rehearsal -semantic-commute -cache-dir ~/.cache/rehearsal site.pp
+//	rehearsal -diff -cache-dir ~/.cache/rehearsal old.pp new.pp
+//
+// With -diff and exactly two manifests, the first is the base version and
+// the second the head: the engine diffs their compiled resource models by
+// digest and re-verifies only pairs touching a changed resource,
+// inheriting every unchanged-pair verdict from the warm caches (point
+// -cache-dir at the directory a previous full run populated). -stats
+// reports the partition (diff-changed/diff-unchanged) and the pair-level
+// savings (pairs-reused/pairs-reverified/inherit-misses).
 //
 // With several manifests the checks run concurrently (bounded by
 // -parallel) and share the process-wide semantic-commutativity cache, so
@@ -63,6 +72,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fs"
 	"repro/internal/pkgdb"
+	"repro/internal/qcache"
 	"repro/internal/service"
 )
 
@@ -85,6 +95,9 @@ type options struct {
 	skipIdem   bool
 	suggest    bool
 	invariant  string
+	// baseSrc is the base manifest source in -diff mode; empty means a
+	// full verification.
+	baseSrc string
 }
 
 // newProvider builds the hardened listing-service client for opts,
@@ -157,9 +170,10 @@ func run(args []string) int {
 	dot := fl.Bool("dot", false, "print the resource graph in Graphviz format and exit")
 	jsonOut := fl.Bool("json", false, "emit one JSON report per manifest on stdout (the rehearsald job-report schema)")
 	suggest := fl.Bool("suggest", false, "on non-determinism, search for missing dependencies that repair the manifest")
+	diffMode := fl.Bool("diff", false, "differential verification: with exactly two manifests, treat the first as the base version and re-verify only resource pairs whose compiled models changed, inheriting the rest from the (ideally warm, see -cache-dir) verdict caches")
 	parallel := fl.Int("parallel", 0, "worker count for solver queries and concurrent manifests (0 = number of CPUs)")
 	verbose := fl.Bool("v", false, "print analysis statistics")
-	stats := fl.Bool("stats", false, "print solver-backend statistics (solver reuses, learnt clauses retained, intern/encode-memo/disk-cache hits)")
+	stats := fl.Bool("stats", false, "print solver-backend statistics (solver reuses, learnt clauses retained, intern/encode-memo/disk-cache hits; with -diff, reused vs re-verified pair counts; with -cache-dir, disk hits/misses/corrupt entries)")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
@@ -213,6 +227,23 @@ func run(args []string) int {
 	}
 
 	paths := fl.Args()
+	if *diffMode {
+		if len(paths) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: rehearsal -diff [flags] base.pp head.pp")
+			return 2
+		}
+		if *dot {
+			fmt.Fprintln(os.Stderr, "rehearsal: -diff and -dot are mutually exclusive")
+			return 2
+		}
+		baseSrc, err := os.ReadFile(paths[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rehearsal: %v\n", err)
+			return 2
+		}
+		opts.baseSrc = string(baseSrc)
+		return checkManifest(os.Stdout, os.Stderr, paths[1], opts)
+	}
 	if len(paths) == 1 {
 		return checkManifest(os.Stdout, os.Stderr, paths[0], opts)
 	}
@@ -302,6 +333,7 @@ func verifyJSON(w, ew io.Writer, path, src string, opts options) int {
 	}
 	req := service.JobRequest{
 		Manifest:        src,
+		BaseManifest:    opts.baseSrc,
 		Platform:        opts.core.Platform,
 		Node:            opts.core.NodeName,
 		Checks:          []string{service.CheckDeterminism},
@@ -359,7 +391,17 @@ func verifyOne(w, ew io.Writer, path, src string, opts options) int {
 	}
 	fmt.Fprintf(w, "loaded %d resources from %s (platform %s)\n", sys.Size(), path, opts.core.Platform)
 
-	res, err := sys.CheckDeterminism()
+	var res *core.DeterminismResult
+	if opts.baseSrc != "" {
+		baseSys, berr := core.Load(opts.baseSrc, opts.core)
+		if berr != nil {
+			fmt.Fprintf(ew, "rehearsal: base manifest: %v\n", berr)
+			return classify(berr)
+		}
+		res, err = sys.CheckDeterminismDiff(baseSys)
+	} else {
+		res, err = sys.CheckDeterminism()
+	}
 	if err != nil {
 		return reportCheckErr(w, ew, "determinism", err)
 	}
@@ -381,6 +423,18 @@ func verifyOne(w, ew io.Writer, path, src string, opts options) int {
 			res.Stats.LearntRetained, res.Stats.PreprocessRemoved)
 		fmt.Fprintf(ew, "  intern-hits=%d encode-memo-hits=%d disk-cache-hits=%d\n",
 			res.Stats.InternHits, res.Stats.EncodeMemoHits, res.Stats.DiskCacheHits)
+		if opts.baseSrc != "" {
+			fmt.Fprintf(ew, "  diff-changed=%d diff-unchanged=%d pairs-reused=%d pairs-reverified=%d inherit-misses=%d\n",
+				res.Stats.DiffChanged, res.Stats.DiffUnchanged,
+				res.Stats.PairsReused, res.Stats.PairsReverified, res.Stats.InheritMisses)
+		}
+		if opts.core.CacheDir != "" {
+			if disk, err := qcache.OpenDiskShared(opts.core.CacheDir); err == nil {
+				ds := disk.StatsSnapshot()
+				fmt.Fprintf(ew, "  disk-hits=%d disk-misses=%d disk-corrupt=%d\n",
+					ds.Hits, ds.Misses, ds.CorruptEntries)
+			}
+		}
 	}
 	if !res.Deterministic {
 		fmt.Fprintln(w, "determinism: FAIL — the manifest is non-deterministic")

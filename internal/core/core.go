@@ -497,6 +497,22 @@ func (s *System) ExprGraph() *graph.Graph[fs.Expr] {
 	return out
 }
 
+// ResourceDigests returns the Merkle digest of every resource's compiled
+// (unpruned) model, keyed by resource name — the input internal/diff
+// consumes to delta two manifest versions. Digests are content addresses
+// of the compiled models, so they see through textual changes that
+// compile identically and catch semantic changes that leave the
+// declaration text untouched (a changed variable flowing into another
+// resource's template).
+func (s *System) ResourceDigests() map[string]fs.Digest {
+	out := make(map[string]fs.Digest, s.g.Len())
+	for _, n := range s.g.Nodes() {
+		l := s.g.Label(n)
+		out[l.res.String()] = fs.DigestExpr(l.orig)
+	}
+	return out
+}
+
 // TotalPaths returns the number of modeled paths before any analysis — the
 // unpruned "paths per state" of figure 11a.
 func (s *System) TotalPaths() int {

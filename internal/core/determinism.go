@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/commute"
+	"repro/internal/diff"
 	"repro/internal/fs"
 	"repro/internal/graph"
 	"repro/internal/prune"
@@ -77,6 +78,29 @@ type Stats struct {
 	// for the error path's diagnostics (see CheckDeterminism's error
 	// contract) and for tests.
 	WorkerPanics int
+
+	// Differential-verification counters, populated only by the VerifyDiff
+	// path (all zero on a full check).
+
+	// DiffChanged counts head resources that cannot inherit base verdicts:
+	// compiled models that changed plus resources added since base.
+	DiffChanged int
+	// DiffUnchanged counts head resources whose compiled-model digests
+	// match base.
+	DiffUnchanged int
+	// PairsReused counts distinct semantic-commutativity pairs between two
+	// unchanged resources whose verdicts were inherited from the warm
+	// verdict tiers (memory or disk) with zero solver work.
+	PairsReused int
+	// PairsReverified counts distinct semantic-commutativity pairs that
+	// executed a solver query in this check — pairs touching a changed or
+	// added resource, plus any inherit misses.
+	PairsReverified int
+	// InheritMisses counts the subset of PairsReverified whose members
+	// were both unchanged: the base verdict was not in the warm tiers (a
+	// cold cache, or context-dependent pruning shifted the pair's content
+	// address), so soundness forced a re-solve.
+	InheritMisses int
 }
 
 // SemCacheHitRate returns the fraction of semantic-commutativity
@@ -104,6 +128,12 @@ type workNode struct {
 	orig fs.Expr
 	sum  *commute.Summary
 
+	// unchanged marks the resource's compiled model as digest-identical to
+	// the base manifest's (differential checks only; always false on a
+	// full check). Pair classification reads it: a pair of two unchanged
+	// resources is expected to inherit its verdict from the warm tiers.
+	unchanged bool
+
 	digOnce sync.Once
 	dig     fs.Digest
 }
@@ -122,14 +152,47 @@ func (w *workNode) digest() fs.Digest {
 // is sound and complete; see DESIGN.md for the replay-validated fallback
 // that keeps it exact when elimination or pruning are enabled.
 func (s *System) CheckDeterminism() (*DeterminismResult, error) {
-	return s.checkDeterminism(s.opts)
+	return s.checkDeterminism(s.opts, nil)
 }
 
-func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
+// VerifyDiff runs the differential determinacy check: head is verified in
+// full soundness, but the pairwise commutativity matrix is partitioned by
+// the resource-level delta against base — pairs of digest-unchanged
+// resources inherit the base run's verdicts from the warm content-
+// addressed tiers (memory cache or the CacheDir disk tier) with zero
+// solver work, and only pairs touching a changed or added resource enter
+// the worker pool. The verdict is identical to head.CheckDeterminism()
+// at any delta: inheritance is content-addressed (identical models →
+// identical cache keys), and an unchanged pair whose key misses the warm
+// tiers — a cold cache, or pruning shifted under it — is simply
+// re-solved and counted as an inherit miss. Both systems should be loaded
+// under the same platform/provider options; head's options drive the
+// check.
+func VerifyDiff(base, head *System) (*DeterminismResult, error) {
+	return head.CheckDeterminismDiff(base)
+}
+
+// CheckDeterminismDiff is VerifyDiff as a method on the head system.
+func (s *System) CheckDeterminismDiff(base *System) (*DeterminismResult, error) {
+	d := diff.Compute(base.ResourceDigests(), s.ResourceDigests())
+	return s.checkDeterminism(s.opts, d)
+}
+
+// checkDeterminism runs one determinacy check. delta, when non-nil, is
+// the resource-level difference against a base manifest: it drives the
+// reused/re-verified pair accounting and marks unchanged resources, but
+// never weakens the analysis — every pair is still decided, just
+// preferentially from the warm verdict tiers.
+func (s *System) checkDeterminism(opts Options, delta *diff.Delta) (*DeterminismResult, error) {
 	start := time.Now()
 	var deadline time.Time
 	if opts.Timeout > 0 {
 		deadline = start.Add(opts.Timeout)
+	}
+
+	var unchanged map[string]bool
+	if delta != nil {
+		unchanged = delta.UnchangedSet()
 	}
 
 	// Working copies: analyses must not mutate the System.
@@ -137,7 +200,8 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	remap := make(map[graph.Node]graph.Node)
 	for _, n := range s.g.Nodes() {
 		l := s.g.Label(n)
-		remap[n] = wg.Add(&workNode{name: l.res.String(), expr: l.expr, orig: l.orig, sum: l.sum})
+		name := l.res.String()
+		remap[n] = wg.Add(&workNode{name: name, expr: l.expr, orig: l.orig, sum: l.sum, unchanged: unchanged[name]})
 	}
 	for _, n := range s.g.Nodes() {
 		for _, v := range s.g.Succs(n) {
@@ -146,8 +210,13 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	}
 
 	cc := newCommuteChecker(opts)
+	cc.diffAware = delta != nil
 	defer cc.cancel() // release the derived context on every exit path
 	stats := Stats{Resources: wg.Len(), TotalPaths: s.TotalPaths(), Workers: cc.workers, InternHits: s.internHits}
+	if delta != nil {
+		stats.DiffChanged = len(delta.Changed) + len(delta.Added)
+		stats.DiffUnchanged = len(delta.Unchanged)
+	}
 
 	// Second verdict tier: persist this check's semantic-commutativity
 	// verdicts and warm-start from verdicts earlier processes left behind.
@@ -234,6 +303,11 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	stats.SemCacheHits = int(cc.hits.Load())
 	stats.SolverReuses = int(cc.reuses.Load())
 	stats.DiskCacheHits = int(cc.diskHits.Load())
+	if delta != nil {
+		stats.PairsReused = int(cc.reusedPairs.Load())
+		stats.PairsReverified = int(cc.reverifiedPairs.Load())
+		stats.InheritMisses = int(cc.inheritMisses.Load())
+	}
 	if cc.pool != nil {
 		stats.LearntRetained, stats.PreprocessRemoved = cc.pool.snapshot()
 		if d := cc.pool.applyHits() - applyHitsBase; d > 0 {
@@ -297,7 +371,7 @@ func (s *System) checkDeterminism(opts Options) (*DeterminismResult, error) {
 	exact.Elimination = false
 	exact.Pruning = false
 	if opts.Elimination || opts.Pruning {
-		res, err := s.checkDeterminism(exact)
+		res, err := s.checkDeterminism(exact, delta)
 		if err != nil {
 			return nil, err
 		}
@@ -503,7 +577,7 @@ func pruneGraph(wg *graph.Graph[*workNode], intern bool) (int, int64) {
 				expr = h
 				internHits += st.Hits
 			}
-			wg.SetLabel(n, &workNode{name: wn.name, expr: expr, orig: wn.orig, sum: commute.Analyze(expr)})
+			wg.SetLabel(n, &workNode{name: wn.name, expr: expr, orig: wn.orig, sum: commute.Analyze(expr), unchanged: wn.unchanged})
 		}
 	}
 	return pruned, internHits

@@ -216,7 +216,7 @@ func TestCancellationBeforeStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts.Context = ctx
-	if _, err := s.checkDeterminism(opts); !errors.Is(err, ErrCanceled) {
+	if _, err := s.checkDeterminism(opts, nil); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
 }

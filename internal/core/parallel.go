@@ -99,6 +99,40 @@ type commuteChecker struct {
 	reuses   atomic.Int64 // queries answered by a reused pooled solver
 	diskHits atomic.Int64 // decisions served by the on-disk verdict tier
 	panics   atomic.Int64 // worker panics recovered (each aborts the check)
+
+	// Differential accounting (diffAware is set by the VerifyDiff path).
+	// Each distinct pair key is classified exactly once, on its first
+	// decision: inherited from a warm tier vs solved this run.
+	diffAware       bool
+	classified      sync.Map     // qcache.Key -> struct{}, pairs already classified
+	reusedPairs     atomic.Int64 // unchanged×unchanged pairs answered warm
+	reverifiedPairs atomic.Int64 // pairs that executed a solver query
+	inheritMisses   atomic.Int64 // unchanged×unchanged pairs that had to solve
+}
+
+// classify records one distinct semantic pair's differential outcome.
+// solved reports whether the decision executed a solver query this run
+// (as opposed to being answered from the memory or disk verdict tier);
+// bothUnchanged whether both members are digest-unchanged against the
+// base manifest. A changed pair answered warm (possible when another
+// manifest already solved the same content) counts in neither bucket —
+// it was neither inherited from the base run nor re-verified.
+func (c *commuteChecker) classify(key qcache.Key, bothUnchanged, solved bool) {
+	if !c.diffAware {
+		return
+	}
+	if _, dup := c.classified.LoadOrStore(key, struct{}{}); dup {
+		return
+	}
+	switch {
+	case solved:
+		c.reverifiedPairs.Add(1)
+		if bothUnchanged {
+			c.inheritMisses.Add(1)
+		}
+	case bothUnchanged:
+		c.reusedPairs.Add(1)
+	}
 }
 
 // solveTestHook, when non-nil, runs inside every semantic-commutativity
@@ -259,6 +293,7 @@ func (c *commuteChecker) commutes(a, b *workNode) bool {
 		// The shared cache deliberately keeps no entry — a later check can
 		// retry — but this check memoizes the decision locally so repeated
 		// asks of the pair stay consistent and cheap.
+		c.classify(key, a.unchanged && b.unchanged, true)
 		c.local.Store(key, false)
 		return false
 	}
@@ -269,6 +304,10 @@ func (c *commuteChecker) commutes(a, b *workNode) bool {
 	case qcache.SrcMemory, qcache.SrcCoalesced:
 		c.hits.Add(1)
 	}
+	// SrcCoalesced means this process ran the solver for the key (on a
+	// concurrent goroutine), so it re-verified the pair rather than
+	// inheriting it.
+	c.classify(key, a.unchanged && b.unchanged, src == qcache.SrcComputed || src == qcache.SrcCoalesced)
 	c.local.Store(key, v)
 	return v
 }

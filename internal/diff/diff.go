@@ -1,0 +1,80 @@
+// Package diff computes resource-level deltas between two compiled
+// manifests. Each resource is keyed by the Merkle digest of its compiled
+// filesystem model (internal/fs), so the delta sees through textual noise
+// — reformatting, reordered declarations, renamed variables — and,
+// conversely, catches semantic changes that leave the declaration
+// untouched (a changed variable flowing into an unchanged template, a
+// platform fact flipping a conditional). The determinacy checker's
+// differential path (core.VerifyDiff) uses the delta to partition the
+// pairwise commutativity matrix: pairs of unchanged resources inherit the
+// base run's cached verdicts, pairs touching a changed resource are
+// re-verified.
+package diff
+
+import (
+	"sort"
+
+	"repro/internal/fs"
+)
+
+// Delta is the resource-level difference between a base and a head
+// manifest. The four slices partition the union of both resource sets by
+// name; each is sorted for deterministic output.
+type Delta struct {
+	// Added names resources present only in head.
+	Added []string
+	// Removed names resources present only in base.
+	Removed []string
+	// Changed names resources present in both whose compiled-model digests
+	// differ.
+	Changed []string
+	// Unchanged names resources present in both with identical digests.
+	Unchanged []string
+}
+
+// Compute builds the delta between two digest maps (resource name →
+// compiled-model digest, as returned by core's ResourceDigests).
+func Compute(base, head map[string]fs.Digest) *Delta {
+	d := &Delta{}
+	for name, hd := range head {
+		bd, ok := base[name]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, name)
+		case bd != hd:
+			d.Changed = append(d.Changed, name)
+		default:
+			d.Unchanged = append(d.Unchanged, name)
+		}
+	}
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			d.Removed = append(d.Removed, name)
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Changed)
+	sort.Strings(d.Unchanged)
+	return d
+}
+
+// UnchangedSet returns the unchanged resource names as a set, the shape
+// the checker's pair classification consumes.
+func (d *Delta) UnchangedSet() map[string]bool {
+	out := make(map[string]bool, len(d.Unchanged))
+	for _, name := range d.Unchanged {
+		out[name] = true
+	}
+	return out
+}
+
+// Dirty reports the number of head resources that cannot inherit base
+// verdicts: changed plus added. (Removed resources need no verification —
+// they have no pairs in head.)
+func (d *Delta) Dirty() int { return len(d.Changed) + len(d.Added) }
+
+// Empty reports whether head is digest-identical to base.
+func (d *Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Changed) == 0
+}

@@ -1,0 +1,71 @@
+package diff
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fs"
+)
+
+func dig(b byte) fs.Digest {
+	var d fs.Digest
+	d[0] = b
+	return d
+}
+
+func TestComputePartition(t *testing.T) {
+	base := map[string]fs.Digest{
+		"file[/a]":    dig(1),
+		"file[/b]":    dig(2),
+		"package[x]":  dig(3),
+		"file[/gone]": dig(4),
+	}
+	head := map[string]fs.Digest{
+		"file[/a]":   dig(1), // unchanged
+		"file[/b]":   dig(9), // changed
+		"package[x]": dig(3), // unchanged
+		"file[/new]": dig(5), // added
+	}
+	d := Compute(base, head)
+	if got, want := d.Added, []string{"file[/new]"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Added = %v, want %v", got, want)
+	}
+	if got, want := d.Removed, []string{"file[/gone]"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Removed = %v, want %v", got, want)
+	}
+	if got, want := d.Changed, []string{"file[/b]"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Changed = %v, want %v", got, want)
+	}
+	if got, want := d.Unchanged, []string{"file[/a]", "package[x]"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Unchanged = %v, want %v", got, want)
+	}
+	if d.Dirty() != 2 {
+		t.Errorf("Dirty = %d, want 2", d.Dirty())
+	}
+	if d.Empty() {
+		t.Error("Empty = true for a non-trivial delta")
+	}
+	set := d.UnchangedSet()
+	if !set["file[/a]"] || !set["package[x]"] || set["file[/b]"] {
+		t.Errorf("UnchangedSet = %v", set)
+	}
+}
+
+func TestComputeIdentical(t *testing.T) {
+	m := map[string]fs.Digest{"a": dig(1), "b": dig(2)}
+	d := Compute(m, m)
+	if !d.Empty() {
+		t.Errorf("identical maps should give an empty delta, got %+v", d)
+	}
+	if len(d.Unchanged) != 2 || d.Dirty() != 0 {
+		t.Errorf("Unchanged = %v, Dirty = %d", d.Unchanged, d.Dirty())
+	}
+}
+
+func TestComputeEmptyBase(t *testing.T) {
+	head := map[string]fs.Digest{"a": dig(1)}
+	d := Compute(nil, head)
+	if len(d.Added) != 1 || len(d.Unchanged) != 0 || d.Dirty() != 1 {
+		t.Errorf("delta from empty base = %+v", d)
+	}
+}

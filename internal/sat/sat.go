@@ -105,6 +105,12 @@ type clause struct {
 	lits   []Lit
 	learnt bool
 	act    float64
+	// lbd is the clause's literal-block distance (glue): the number of
+	// distinct decision levels among its literals when it was learnt,
+	// refreshed downward when the clause is used in later conflicts. Low
+	// LBD predicts reuse far better than activity alone (Glucose); clauses
+	// with lbd <= keepGlue survive every reduceDB unconditionally.
+	lbd int32
 }
 
 type watcher struct {
@@ -393,10 +399,45 @@ func (s *Solver) bumpVar(v Var) {
 	s.order.update(v)
 }
 
+// keepGlue is the LBD at or below which a learnt clause is never deleted:
+// glue clauses stitch two decision levels together and are re-derived
+// almost immediately if dropped, so keeping them is nearly free insurance.
+const keepGlue = 2
+
+// computeLBD returns the literal-block distance of a clause under the
+// current assignment: the number of distinct nonzero decision levels among
+// its literals. Unassigned literals (level tracked as 0 alongside root
+// assignments) collapse into one block, which only underestimates — safe,
+// since lower LBD means "keep longer".
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	var n int32
+	seen := make(map[int32]struct{}, len(lits))
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if lv == 0 {
+			continue
+		}
+		if _, ok := seen[lv]; !ok {
+			seen[lv] = struct{}{}
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
 func (s *Solver) bumpClause(cref clauseRef) {
 	c := &s.clauses[cref]
 	if !c.learnt {
 		return
+	}
+	// A clause involved in a conflict gets its glue refreshed downward:
+	// the assignment that re-derived it may span fewer decision levels
+	// than the one it was learnt under.
+	if nl := s.computeLBD(c.lits); nl < c.lbd {
+		c.lbd = nl
 	}
 	c.act += s.claInc
 	if c.act > 1e20 {
@@ -505,15 +546,21 @@ func (s *Solver) record(learnt []Lit) {
 		return
 	}
 	cref := s.allocClause(learnt, true)
+	s.clauses[cref].lbd = s.computeLBD(learnt)
 	s.nLearnt++
 	s.attach(cref)
 	s.bumpClause(cref)
 	s.enqueue(learnt[0], cref)
 }
 
-// reduceDB removes roughly half of the learnt clauses, keeping the most
-// active ones, binary clauses, and clauses that are reasons for current
-// assignments. Called between restarts (at decision level 0).
+// reduceDB removes roughly half of the learnt clauses, ranked by LBD
+// (glue) with activity as the tie-breaker. Binary clauses, clauses that
+// are reasons for current assignments, and glue clauses (lbd <= keepGlue)
+// are kept unconditionally; the remaining candidates are sorted
+// worst-first — highest LBD, then lowest activity — and the worst half is
+// deleted. Called between restarts (at decision level 0). Deletion only
+// ever drops learnt (implied) clauses, so any ranking preserves verdicts;
+// the random differential test pins that.
 func (s *Solver) reduceDB() {
 	locked := make(map[clauseRef]bool)
 	for _, l := range s.trail {
@@ -523,6 +570,7 @@ func (s *Solver) reduceDB() {
 	}
 	type cand struct {
 		cref clauseRef
+		lbd  int32
 		act  float64
 	}
 	var cands []cand
@@ -532,9 +580,17 @@ func (s *Solver) reduceDB() {
 		if !c.learnt || c.lits == nil || len(c.lits) <= 2 || locked[cref] {
 			continue
 		}
-		cands = append(cands, cand{cref, c.act})
+		if c.lbd <= keepGlue {
+			continue
+		}
+		cands = append(cands, cand{cref, c.lbd, c.act})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].act < cands[j].act })
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lbd != cands[j].lbd {
+			return cands[i].lbd > cands[j].lbd
+		}
+		return cands[i].act < cands[j].act
+	})
 	for _, c := range cands[:len(cands)/2] {
 		s.detach(c.cref)
 		s.clauses[c.cref] = clause{}

@@ -385,8 +385,71 @@ func TestReduceDB(t *testing.T) {
 	if got := s.Solve(); got != Unsat {
 		t.Fatalf("PHP with clause deletion = %v, want unsat", got)
 	}
-	if s.nLearnt > s.maxLearnt+1 {
-		t.Errorf("learnt DB not reduced: %d > %d", s.nLearnt, s.maxLearnt)
+	// Glue clauses (lbd <= keepGlue) and binaries are exempt from
+	// deletion, so "the DB gets reduced" means the deletable remainder
+	// halves per reduceDB call.
+	deletable := func() int {
+		n := 0
+		for i := range s.clauses {
+			c := &s.clauses[i]
+			if c.learnt && c.lits != nil && len(c.lits) > 2 && c.lbd > keepGlue {
+				n++
+			}
+		}
+		return n
+	}
+	before := deletable()
+	if before == 0 {
+		t.Fatal("solve learnt no deletable clauses; the reduction path was never exercised")
+	}
+	s.reduceDB()
+	if after := deletable(); after > before-before/2 {
+		t.Errorf("reduceDB kept %d of %d deletable clauses; want at most %d", after, before, before-before/2)
+	}
+}
+
+// TestReduceDBKeepsGlueAndRanksByLBD pins the deletion policy: glue
+// clauses (lbd <= keepGlue) survive unconditionally even at zero
+// activity, and among candidates LBD outranks activity — a high-activity
+// lbd-8 clause is deleted before a low-activity lbd-3 one.
+func TestReduceDBKeepsGlueAndRanksByLBD(t *testing.T) {
+	s := New()
+	vars := make([]Var, 3)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	mk := func(lbd int32, act float64) clauseRef {
+		cref := s.allocClause([]Lit{PosLit(vars[0]), PosLit(vars[1]), PosLit(vars[2])}, true)
+		s.clauses[cref].lbd = lbd
+		s.clauses[cref].act = act
+		s.nLearnt++
+		s.attach(cref)
+		return cref
+	}
+	var glue, worst, better []clauseRef
+	for i := 0; i < 4; i++ {
+		glue = append(glue, mk(keepGlue, 0))
+		worst = append(worst, mk(8, 100))
+		better = append(better, mk(3, 1))
+	}
+	s.reduceDB()
+	alive := func(c clauseRef) bool { return s.clauses[c].lits != nil }
+	for _, c := range glue {
+		if !alive(c) {
+			t.Error("glue clause deleted despite lbd <= keepGlue")
+		}
+	}
+	// Eight candidates (worst + better); the deleted half must be exactly
+	// the lbd-8 clauses, their higher activity notwithstanding.
+	for _, c := range worst {
+		if alive(c) {
+			t.Error("lbd-8 clause survived reduceDB while lbd-3 clauses were available")
+		}
+	}
+	for _, c := range better {
+		if !alive(c) {
+			t.Error("lbd-3 clause deleted before the lbd-8 ones")
+		}
 	}
 }
 

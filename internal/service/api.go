@@ -68,6 +68,20 @@ type JobRequest struct {
 	// TimeoutMS bounds this job's wall-clock time in milliseconds; 0 or
 	// anything above the server's per-job cap means the cap.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Base, when non-empty, names an earlier job (by ID) whose manifest is
+	// the base version for differential verification: the scheduler
+	// resolves it to that job's manifest source, and the determinacy check
+	// re-verifies only resource pairs whose compiled models changed,
+	// inheriting the rest from the warm verdict tiers. CI pipelines chain
+	// each commit's job to its parent's this way. The base job need not
+	// have finished — an unfinished base only means fewer warm verdicts to
+	// inherit, never a different verdict.
+	Base string `json:"base,omitempty"`
+	// BaseManifest is the base version's manifest source, inline. Set it
+	// directly when no prior job exists (the CLI's -diff mode does);
+	// mutually exclusive with Base.
+	BaseManifest string `json:"base_manifest,omitempty"`
 }
 
 // Normalize fills defaults and canonicalizes the check set (sorted,
@@ -120,6 +134,9 @@ func (r JobRequest) Validate() error {
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")
 	}
+	if r.Base != "" && r.BaseManifest != "" {
+		return fmt.Errorf("base and base_manifest are mutually exclusive")
+	}
 	return nil
 }
 
@@ -136,7 +153,11 @@ func (r JobRequest) Has(check string) bool {
 // Key is the request's content address: equal keys mean equal verification
 // work, so the scheduler coalesces them onto one job and the result layer
 // answers re-submissions without re-running anything. The timeout is
-// deliberately excluded — a longer deadline asks the same question.
+// deliberately excluded — a longer deadline asks the same question. The
+// base manifest participates (a differential job reports different stats
+// than a full one), but the Base job reference does not: the scheduler
+// resolves it to BaseManifest before keying, so two jobs chained to
+// different base jobs with identical manifests still coalesce.
 func (r JobRequest) Key() string {
 	h := sha256.New()
 	manifest := sha256.Sum256([]byte(r.Manifest))
@@ -144,6 +165,11 @@ func (r JobRequest) Key() string {
 	fmt.Fprintf(h, "|%s|%s|%s|%s|%t|%t",
 		r.Platform, r.Node, strings.Join(r.Checks, ","), r.Invariant,
 		r.SemanticCommute, r.WellFormedInit)
+	if r.BaseManifest != "" {
+		base := sha256.Sum256([]byte(r.BaseManifest))
+		h.Write([]byte("|base|"))
+		h.Write(base[:])
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

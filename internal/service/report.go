@@ -9,6 +9,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"time"
 
@@ -131,6 +132,14 @@ type StatsReport struct {
 	EncodeMemoHits    int64   `json:"encode_memo_hits"`
 	DiskCacheHits     int     `json:"disk_cache_hits"`
 	DurationMS        float64 `json:"duration_ms"`
+
+	// Differential-verification counters, present only on jobs with a
+	// base manifest (see core.Stats for the semantics).
+	DiffChanged     int `json:"diff_changed,omitempty"`
+	DiffUnchanged   int `json:"diff_unchanged,omitempty"`
+	PairsReused     int `json:"pairs_reused,omitempty"`
+	PairsReverified int `json:"pairs_reverified,omitempty"`
+	InheritMisses   int `json:"inherit_misses,omitempty"`
 }
 
 func stateJSON(st fs.State) FSState {
@@ -190,6 +199,11 @@ func statsJSON(s core.Stats) *StatsReport {
 		EncodeMemoHits:    s.EncodeMemoHits,
 		DiskCacheHits:     s.DiskCacheHits,
 		DurationMS:        float64(s.Duration) / float64(time.Millisecond),
+		DiffChanged:       s.DiffChanged,
+		DiffUnchanged:     s.DiffUnchanged,
+		PairsReused:       s.PairsReused,
+		PairsReverified:   s.PairsReverified,
+		InheritMisses:     s.InheritMisses,
 	}
 }
 
@@ -239,7 +253,27 @@ func BuildReport(req JobRequest, opts core.Options) *Report {
 	}
 	rep.Resources = sys.Size()
 
-	det, err := sys.CheckDeterminism()
+	var det *core.DeterminismResult
+	if req.BaseManifest != "" {
+		// Differential verification: delta against the base version and
+		// inherit unchanged pairs' verdicts from the warm tiers. A base
+		// that no longer loads is a manifest-class failure — CI chained to
+		// a broken parent should hear about it, not silently pay for a
+		// full run.
+		baseSys, berr := core.Load(req.BaseManifest, opts)
+		if berr != nil {
+			rep.Error = Classify(fmt.Errorf("base manifest: %w", berr))
+			if rep.Error.Class == ClassManifest {
+				rep.Verdict = VerdictFail
+			} else {
+				rep.Verdict = VerdictError
+			}
+			return rep
+		}
+		det, err = sys.CheckDeterminismDiff(baseSys)
+	} else {
+		det, err = sys.CheckDeterminism()
+	}
 	if err != nil {
 		rep.Error = Classify(err)
 		rep.Verdict = VerdictError

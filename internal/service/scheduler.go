@@ -30,6 +30,11 @@ var (
 	// ErrDraining reports that the server is shutting down and accepts no
 	// new work.
 	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrUnknownBase reports that a differential submission named a base
+	// job the store no longer holds (never existed, or evicted/expired).
+	// The client should re-submit without a base — a full verification —
+	// or chain to a fresher job.
+	ErrUnknownBase = errors.New("service: unknown base job")
 )
 
 // Config parameterizes the service.
@@ -152,6 +157,16 @@ func newScheduler(cfg Config) (*scheduler, error) {
 // enqueued. Admission failures return ErrQueueFull or ErrDraining.
 func (s *scheduler) submit(req JobRequest) (job *Job, deduped bool, err error) {
 	req = req.Normalize()
+	if req.Base != "" {
+		// Resolve the base job reference to its manifest source now, so
+		// the job is self-contained (content-addressed on the base source,
+		// immune to the base job's later eviction).
+		base, ok := s.store.get(req.Base)
+		if !ok {
+			return nil, false, fmt.Errorf("%w: %q", ErrUnknownBase, req.Base)
+		}
+		req.BaseManifest = base.Req.Manifest
+	}
 	key := req.Key()
 	out, err, shared := s.flight.Do(key, func() (*submitOutcome, error) {
 		// The result/dedup layer: a live job or a finished one inside the

@@ -124,6 +124,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, deduped, err := s.sched.submit(req)
 	switch {
+	case errors.Is(err, ErrUnknownBase):
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
 	case errors.Is(err, ErrQueueFull):
 		// Admission control: tell the client when to come back — one
 		// median job latency is a decent guess, floored at a second.

@@ -588,3 +588,76 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialJobChaining: a head job submitted with a Base job
+// reference resolves the base's manifest at admission, runs the
+// determinacy check differentially, and inherits the unchanged pair's
+// verdict from the substrate's warm cache — zero new solver queries.
+func TestDifferentialJobChaining(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// Head adds git (disjoint closure): the (make, gcc) pair is unchanged
+	// and its verdict must be inherited, not re-solved.
+	const headManifest = semManifest + `package {'git': ensure => present }
+`
+	base, status := postJob(t, ts, JobRequest{Manifest: semManifest, SemanticCommute: true,
+		Checks: []string{CheckDeterminism}})
+	if status != http.StatusAccepted {
+		t.Fatalf("base submit: status %d", status)
+	}
+	baseView := waitTerminal(t, ts, base.ID)
+	if baseView.State != JobDone || baseView.Report.Stats.SemQueries == 0 {
+		t.Fatalf("base job: state=%s stats=%+v", baseView.State, baseView.Report.Stats)
+	}
+
+	head, status := postJob(t, ts, JobRequest{Manifest: headManifest, SemanticCommute: true,
+		Checks: []string{CheckDeterminism}, Base: base.ID})
+	if status != http.StatusAccepted {
+		t.Fatalf("head submit: status %d", status)
+	}
+	view := waitTerminal(t, ts, head.ID)
+	if view.State != JobDone || view.Report == nil || view.Report.Verdict != VerdictPass {
+		t.Fatalf("head job: %+v", view)
+	}
+	st := view.Report.Stats
+	if st.DiffChanged != 1 || st.DiffUnchanged != 2 {
+		t.Errorf("diff partition: changed=%d unchanged=%d, want 1/2", st.DiffChanged, st.DiffUnchanged)
+	}
+	if st.PairsReused != 1 || st.PairsReverified != 0 || st.InheritMisses != 0 {
+		t.Errorf("pair accounting: reused=%d reverified=%d misses=%d, want 1/0/0",
+			st.PairsReused, st.PairsReverified, st.InheritMisses)
+	}
+	if st.SemQueries != 0 {
+		t.Errorf("head job solved %d queries, want 0 (inherited)", st.SemQueries)
+	}
+
+	// The same head manifest without a base is different verification
+	// work: it must not dedup onto the differential job.
+	full, status := postJob(t, ts, JobRequest{Manifest: headManifest, SemanticCommute: true,
+		Checks: []string{CheckDeterminism}})
+	if status != http.StatusAccepted {
+		t.Fatalf("full submit: status %d", status)
+	}
+	if full.ID == head.ID || full.Deduped {
+		t.Errorf("full job coalesced onto differential job: %+v", full)
+	}
+	fullView := waitTerminal(t, ts, full.ID)
+	if fullView.Report.Verdict != view.Report.Verdict {
+		t.Errorf("verdicts differ: diff=%s full=%s", view.Report.Verdict, fullView.Report.Verdict)
+	}
+}
+
+// TestBaseValidation: an unknown base job is a 400, and base plus inline
+// base_manifest in one request is rejected.
+func TestBaseValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	_, status := postJob(t, ts, JobRequest{Manifest: okManifest, Base: "j000000-deadbeef"})
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown base: status %d, want 400", status)
+	}
+	_, status = postJob(t, ts, JobRequest{Manifest: okManifest, Base: "x", BaseManifest: okManifest})
+	if status != http.StatusBadRequest {
+		t.Errorf("base + base_manifest: status %d, want 400", status)
+	}
+}
