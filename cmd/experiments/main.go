@@ -15,6 +15,8 @@
 //	                       hash-consed IR: encode memoization + disk verdict tier
 //	experiments -diff-bench [-diff-out BENCH_diff.json]
 //	                       differential verification: full re-check vs digest diff
+//	experiments -cluster-bench [-cluster-out BENCH_cluster.json]
+//	                       sharded rehearsald ring: warm jobs/sec at 1/2/4 nodes
 //	experiments            all of the above
 //
 // The -timeout flag stands in for the paper's 10-minute limit (default
@@ -49,6 +51,8 @@ func main() {
 	serviceOut := flag.String("service-out", "", "write the service throughput results as a JSON trajectory point (e.g. BENCH_service.json)")
 	diffBench := flag.Bool("diff-bench", false, "run the differential-verification speedup experiment only")
 	diffOut := flag.String("diff-out", "", "write the differential speedup results as a JSON trajectory point (e.g. BENCH_diff.json)")
+	clusterBench := flag.Bool("cluster-bench", false, "run the sharded-cluster throughput experiment only")
+	clusterOut := flag.String("cluster-out", "", "write the cluster throughput results as a JSON trajectory point (e.g. BENCH_cluster.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-check timeout (paper: 10 minutes)")
@@ -93,6 +97,8 @@ func main() {
 		printService(*timeout, *serviceOut)
 	case *diffBench:
 		printDiff(*timeout, *diffOut)
+	case *clusterBench:
+		printCluster(*timeout, *clusterOut)
 	case *fig == "":
 		printFig11a(*timeout)
 		printFig11b(*timeout)
@@ -105,6 +111,7 @@ func main() {
 		printInterning(*timeout, *interningOut)
 		printService(*timeout, *serviceOut)
 		printDiff(*timeout, *diffOut)
+		printCluster(*timeout, *clusterOut)
 	case *fig == "11a":
 		printFig11a(*timeout)
 	case *fig == "11b":
@@ -216,16 +223,38 @@ func printFig13(timeout time.Duration, maxN int) {
 	fmt.Println()
 }
 
-func printParallel(timeout time.Duration, out string) {
-	// The modeled series sleeps 250ms per query; give the sequential run
-	// enough headroom regardless of the figure timeout.
-	if timeout < time.Minute {
-		timeout = time.Minute
+// runBench is the shared harness behind every -*-bench flag: floor the
+// figure timeout (the modeled series sleep real wall-clock time), build
+// the report, print its table, and write the JSON trajectory point when
+// an -*-out path was given. Each bench contributes only its builder and
+// its table.
+func runBench[T interface{ Write(string) error }](timeout, floor time.Duration, out string,
+	build func(time.Duration) (T, error), print func(T)) {
+	if timeout < floor {
+		timeout = floor
 	}
-	rep, err := experiments.BuildParallelReport(timeout, []int{1, 2, 4, 8})
+	rep, err := build(timeout)
 	if err != nil {
 		fatal(err)
 	}
+	print(rep)
+	if out != "" {
+		if err := rep.Write(out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+}
+
+func printParallel(timeout time.Duration, out string) {
+	// The modeled series sleeps 250ms per query; give the sequential run
+	// enough headroom regardless of the figure timeout.
+	runBench(timeout, time.Minute, out, func(t time.Duration) (*experiments.ParallelReport, error) {
+		return experiments.BuildParallelReport(t, []int{1, 2, 4, 8})
+	}, printParallelTable)
+}
+
+func printParallelTable(rep *experiments.ParallelReport) {
 	fmt.Println("== Parallel determinacy engine: speedup vs workers ==")
 	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
 	fmt.Printf("%8s %14s %14s %10s %10s\n", "workers", "native", "modeled-z3", "queries", "hits")
@@ -236,24 +265,15 @@ func printParallel(timeout time.Duration, out string) {
 	}
 	fmt.Printf("speedup at 4 workers: native %.2fx, modeled-z3 %.2fx\n\n",
 		rep.NativeSpeedup4, rep.ModeledSpeedup4)
-	if out != "" {
-		if err := rep.Write(out); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", out)
-	}
 }
 
 func printIncremental(timeout time.Duration, out string) {
 	// The modeled fresh series sleeps 300ms per query; give the runs
 	// headroom regardless of the figure timeout.
-	if timeout < time.Minute {
-		timeout = time.Minute
-	}
-	rep, err := experiments.BuildIncrementalReport(timeout)
-	if err != nil {
-		fatal(err)
-	}
+	runBench(timeout, time.Minute, out, experiments.BuildIncrementalReport, printIncrementalTable)
+}
+
+func printIncrementalTable(rep *experiments.IncrementalReport) {
 	fmt.Println("== Incremental SMT backend: fresh vs pooled solvers ==")
 	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
 	fmt.Printf("%-12s %14s %14s %10s %8s %8s %8s\n",
@@ -266,24 +286,15 @@ func printIncremental(timeout time.Duration, out string) {
 	}
 	fmt.Printf("warm-pool speedup over fresh: native %.2fx, modeled-z3 %.2fx (cold %.2fx)\n\n",
 		rep.NativeWarmSpeedup, rep.ModeledWarmSpeedup, rep.ModeledColdSpeedup)
-	if out != "" {
-		if err := rep.Write(out); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", out)
-	}
 }
 
 func printInterning(timeout time.Duration, out string) {
 	// The modeled series sleep hundreds of milliseconds per cold query;
 	// give the runs headroom regardless of the figure timeout.
-	if timeout < time.Minute {
-		timeout = time.Minute
-	}
-	rep, err := experiments.BuildInterningReport(timeout)
-	if err != nil {
-		fatal(err)
-	}
+	runBench(timeout, time.Minute, out, experiments.BuildInterningReport, printInterningTable)
+}
+
+func printInterningTable(rep *experiments.InterningReport) {
 	fmt.Println("== Hash-consed IR: encode memoization + on-disk verdict tier ==")
 	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
 	fmt.Printf("%-14s %12s %10s %12s %12s %10s\n",
@@ -296,22 +307,13 @@ func printInterning(timeout time.Duration, out string) {
 		rep.EncodeColdSpeedup, rep.EncodeWarmSpeedup, rep.DiskWarmSpeedup)
 	fmt.Printf("digest micro-series: %d exprs x %d passes, plain %.4fs vs interned %.4fs (%.0fx)\n\n",
 		rep.Digest.Exprs, rep.Digest.Passes, rep.Digest.PlainSeconds, rep.Digest.InternedSeconds, rep.Digest.Speedup)
-	if out != "" {
-		if err := rep.Write(out); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", out)
-	}
 }
 
 func printService(timeout time.Duration, out string) {
-	if timeout < time.Minute {
-		timeout = time.Minute
-	}
-	rep, err := experiments.BuildServiceReport(timeout)
-	if err != nil {
-		fatal(err)
-	}
+	runBench(timeout, time.Minute, out, experiments.BuildServiceReport, printServiceTable)
+}
+
+func printServiceTable(rep *experiments.ServiceReport) {
 	fmt.Println("== rehearsald: warm-substrate service throughput ==")
 	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
 	fmt.Printf("%-8s %-10s %6s %10s %10s %10s %10s %8s %10s %8s\n",
@@ -326,24 +328,15 @@ func printService(timeout time.Duration, out string) {
 			s.Workers, s.WarmOverCold, s.ResubmitOverCold)
 	}
 	fmt.Println()
-	if out != "" {
-		if err := rep.Write(out); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", out)
-	}
 }
 
 func printDiff(timeout time.Duration, out string) {
 	// The synthetic full runs sleep 25ms per query across 190 queries at
 	// one worker; give them headroom regardless of the figure timeout.
-	if timeout < 5*time.Minute {
-		timeout = 5 * time.Minute
-	}
-	rep, err := experiments.BuildDiffReport(timeout)
-	if err != nil {
-		fatal(err)
-	}
+	runBench(timeout, 5*time.Minute, out, experiments.BuildDiffReport, printDiffTable)
+}
+
+func printDiffTable(rep *experiments.DiffReport) {
 	fmt.Println("== Differential verification: full re-check vs digest-level diff ==")
 	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
 	fmt.Printf("%6s %6s %8s %10s %10s %8s %8s %8s %8s\n",
@@ -357,12 +350,28 @@ func printDiff(timeout time.Duration, out string) {
 	h := rep.Hosting
 	fmt.Printf("hosting.pp one-resource edit (%d worker, %dms modeled z3): full %.3fs vs diff %.3fs = %.1fx (%d pairs inherited, %d solver queries)\n\n",
 		h.Workers, h.ModeledLatencyMS, h.FullSeconds, h.DiffSeconds, h.Speedup, h.PairsReused, h.DiffQueries)
-	if out != "" {
-		if err := rep.Write(out); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", out)
+}
+
+func printCluster(timeout time.Duration, out string) {
+	runBench(timeout, time.Minute, out, func(t time.Duration) (*experiments.ClusterReport, error) {
+		return experiments.BuildClusterReport(t, experiments.ClusterBenchConfig{})
+	}, printClusterTable)
+}
+
+func printClusterTable(rep *experiments.ClusterReport) {
+	fmt.Println("== Sharded cluster: warm jobs/sec vs node count ==")
+	fmt.Printf("workload: %s (host CPUs: %d, seed %d)\n", rep.Workload, rep.HostCPUs, rep.Seed)
+	fmt.Printf("%6s %-6s %6s %10s %10s %10s %10s %9s %12s\n",
+		"nodes", "round", "jobs", "time", "jobs/s", "p50", "p99", "queries", "remote-hits")
+	for _, r := range rep.Rows {
+		fmt.Printf("%6d %-6s %6d %9.3fs %10.1f %8.1fms %8.1fms %9d %12d\n",
+			r.Nodes, r.Round, r.Jobs, r.Seconds, r.JobsPerSec, r.P50MS, r.P99MS, r.Queries, r.RemoteHits)
 	}
+	for _, s := range rep.Scaling {
+		fmt.Printf("nodes=%d: warm %.1f jobs/s (%.2fx over one node), ring %d hits / %d puts, %d jobs proxied to their owner\n",
+			s.Nodes, s.WarmJobsPerSec, s.SpeedupOverOne, s.RingHits, s.RingPuts, s.RoutedProxied)
+	}
+	fmt.Printf("verdicts byte-identical across fleet sizes: %v\n\n", rep.VerdictsIdentical)
 }
 
 func printBugs(timeout time.Duration) {

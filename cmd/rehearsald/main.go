@@ -15,6 +15,7 @@
 //	rehearsald -workers 8 -queue-depth 128 -cache-dir /var/cache/rehearsald
 //	rehearsald -pkg-server http://localhost:8373 -snapshot catalog.snap
 //	rehearsald -chaos seed=42,rate=0.2,kinds=status+reset
+//	rehearsald -advertise http://10.0.0.5:8374 -peers http://10.0.0.6:8374,http://10.0.0.7:8374
 //
 // API (see internal/service):
 //
@@ -25,6 +26,12 @@
 //	GET    /metrics              Prometheus text format
 //	GET    /healthz, /readyz     probes (readyz follows drain state and the
 //	                             package-listing circuit breaker)
+//
+// With -advertise (and usually -peers) the daemon joins a verdict-sharing
+// cluster: submissions are digest-routed to their consistent-hash ring
+// owner, verdict lookups consult the peer ring before the solver, and the
+// peer/ring endpoints (GET/PUT /v1/cache/{key}, /v1/ring, /v1/ring/peers,
+// /v1/cluster/stats) come up — see cmd/rehearsalctl for operating them.
 //
 // SIGINT/SIGTERM drain gracefully: admission stops, queued and in-flight
 // jobs finish in the canceled state, workers join, then the listener
@@ -39,9 +46,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/pkgdb"
@@ -63,10 +72,30 @@ func main() {
 	snapshot := flag.String("snapshot", "", "catalog snapshot file used as fallback when the listing service is unavailable")
 	chaos := flag.String("chaos", "", "fault-injection spec applied to the HTTP layer (testing only), e.g. seed=42,rate=0.2,kinds=status+reset")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for workers to observe cancellation")
+	peers := flag.String("peers", "", "comma-separated peer URLs to form a verdict-sharing cluster with (requires -advertise)")
+	advertise := flag.String("advertise", "", "URL peers reach this node at, e.g. http://10.0.0.5:8374 (joins the cluster ring)")
 	flag.Parse()
+
+	var node *cluster.Node
+	if *advertise != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		node = cluster.NewNode(*advertise, peerList)
+	} else if *peers != "" {
+		log.Fatalf("rehearsald: -peers requires -advertise (peers must be able to reach this node)")
+	}
 
 	// One warm substrate for the whole process: every worker binds to it.
 	subCfg := core.SubstrateConfig{CacheDir: *cacheDir}
+	if node != nil {
+		// Verdict lookups go memory → disk → peer ring before any solver
+		// query; a dead peer degrades to a miss.
+		subCfg.RemoteTier = node.Tier()
+	}
 	if *pkgServer != "" {
 		client := pkgdb.NewClientConfig(*pkgServer, pkgdb.ClientConfig{
 			AttemptTimeout: *netTimeout,
@@ -95,6 +124,7 @@ func main() {
 		ResultTTL:   *resultTTL,
 		Substrate:   sub,
 		BaseOptions: &base,
+		Cluster:     node,
 	}
 	if *chaos != "" {
 		fcfg, err := faults.ParseSpec(*chaos)
@@ -117,6 +147,9 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("rehearsald: serving on %s (workers=%d queue=%d cache-dir=%q)",
 		*addr, cfg.Workers, *queueDepth, *cacheDir)
+	if node != nil {
+		log.Printf("rehearsald: clustered as %s with %d member(s)", node.Self(), len(node.Members()))
+	}
 
 	select {
 	case err := <-errc:

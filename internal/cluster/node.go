@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/qcache"
+)
+
+// RoutedHeader marks a request forwarded by a peer. Receivers serve routed
+// requests locally and never forward them again, so routing is single-hop
+// by construction even when two nodes briefly disagree about ring
+// membership.
+const RoutedHeader = "X-Rehearsald-Routed"
+
+// RemoteTierName is the name the ring-backed verdict tier registers under
+// in the qcache tier stack.
+const RemoteTierName = "remote"
+
+const (
+	// deadPeerThreshold consecutive transport failures mark a peer dead.
+	deadPeerThreshold = 3
+	// deadPeerCooldown is how long a dead peer is skipped before being
+	// probed again. While skipped, every lookup that would have gone to it
+	// is a miss — never an error.
+	deadPeerCooldown = 5 * time.Second
+	// peerTimeout bounds every peer call. Verdicts are one boolean; a peer
+	// that cannot answer in this window is slower than computing locally.
+	peerTimeout = 2 * time.Second
+)
+
+// peerHealth tracks one peer's transport failures.
+type peerHealth struct {
+	mu          sync.Mutex
+	consecFails int
+	downUntil   time.Time
+}
+
+// fail records a transport failure; crossing the threshold starts the
+// cooldown.
+func (h *peerHealth) fail(now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecFails++
+	if h.consecFails >= deadPeerThreshold {
+		h.downUntil = now.Add(deadPeerCooldown)
+	}
+}
+
+// ok records a successful exchange, reviving the peer.
+func (h *peerHealth) ok() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.consecFails = 0
+	h.downUntil = time.Time{}
+}
+
+// available reports whether the peer should be tried now.
+func (h *peerHealth) available(now time.Time) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return now.After(h.downUntil)
+}
+
+// Node is one rehearsald process's view of the cluster: its own advertised
+// URL, the membership ring, per-peer health, and the HTTP client used for
+// the peer verdict protocol and job forwarding. The zero value is not
+// ready; use NewNode.
+type Node struct {
+	self   string
+	client *http.Client
+
+	mu   sync.Mutex // serializes membership changes
+	ring atomic.Pointer[Ring]
+
+	health sync.Map // member URL → *peerHealth
+
+	// Remote-tier counters, in the common TierStats shape.
+	hits, misses, puts, errors atomic.Int64
+	// deadSkips counts lookups skipped because the owner was in cooldown;
+	// a subset of misses, surfaced separately so operators can tell "peer
+	// cold" from "peer dead".
+	deadSkips atomic.Int64
+}
+
+// NormalizeURL canonicalizes a peer URL for ring membership: trims
+// whitespace and trailing slashes and defaults the scheme to http. Every
+// node must address a given peer by the same string or ring ownership
+// would disagree across the fleet.
+func NormalizeURL(u string) string {
+	u = strings.TrimRight(strings.TrimSpace(u), "/")
+	if u == "" {
+		return ""
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u
+}
+
+// NewNode builds a cluster node advertising self, with the given initial
+// peers (self is always a member; listing it again is harmless).
+func NewNode(self string, peers []string) *Node {
+	n := &Node{
+		self:   NormalizeURL(self),
+		client: &http.Client{Timeout: peerTimeout},
+	}
+	members := []string{n.self}
+	for _, p := range peers {
+		members = append(members, NormalizeURL(p))
+	}
+	n.ring.Store(NewRing(members))
+	return n
+}
+
+// SetHTTPClient replaces the peer HTTP client; tests use it to tighten
+// timeouts or inject transports.
+func (n *Node) SetHTTPClient(c *http.Client) {
+	if c != nil {
+		n.client = c
+	}
+}
+
+// Self returns the node's advertised URL.
+func (n *Node) Self() string { return n.self }
+
+// Ring returns the current membership ring snapshot.
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// Members returns the current member URLs, sorted.
+func (n *Node) Members() []string { return n.Ring().Members() }
+
+// AddPeer adds a member to the ring. Returns true if membership changed.
+func (n *Node) AddPeer(url string) bool {
+	url = NormalizeURL(url)
+	if url == "" {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	old := n.ring.Load()
+	next := old.WithMember(url)
+	if next == old {
+		return false
+	}
+	n.ring.Store(next)
+	return true
+}
+
+// RemovePeer removes a member from the ring; the node's own URL cannot be
+// removed. Returns true if membership changed.
+func (n *Node) RemovePeer(url string) bool {
+	url = NormalizeURL(url)
+	if url == "" || url == n.self {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	old := n.ring.Load()
+	next := old.WithoutMember(url)
+	if next == old {
+		return false
+	}
+	n.ring.Store(next)
+	return true
+}
+
+// OwnerOf returns the ring owner for a route ID and whether it is this
+// node. An empty or single-node ring always owns locally.
+func (n *Node) OwnerOf(routeID string) (owner string, isSelf bool) {
+	owner = n.Ring().Owner(routeID)
+	return owner, owner == "" || owner == n.self
+}
+
+// healthOf returns (creating if needed) the health record for a peer.
+func (n *Node) healthOf(member string) *peerHealth {
+	if h, ok := n.health.Load(member); ok {
+		return h.(*peerHealth)
+	}
+	h, _ := n.health.LoadOrStore(member, &peerHealth{})
+	return h.(*peerHealth)
+}
+
+// Available reports whether a peer is currently worth contacting (not in
+// dead-peer cooldown).
+func (n *Node) Available(member string) bool {
+	return n.healthOf(member).available(time.Now())
+}
+
+// DeadPeers lists members currently in cooldown.
+func (n *Node) DeadPeers() []string {
+	now := time.Now()
+	var dead []string
+	for _, m := range n.Members() {
+		if m == n.self {
+			continue
+		}
+		if !n.healthOf(m).available(now) {
+			dead = append(dead, m)
+		}
+	}
+	return dead
+}
+
+// PeerRequest issues one request of the peer protocol: the routed-loop
+// header is set, the peer's health record absorbs the outcome, and a
+// transport failure returns an error for the caller to degrade on. The
+// caller owns the response body.
+func (n *Node) PeerRequest(ctx context.Context, method, member, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, member+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(RoutedHeader, "1")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.healthOf(member).fail(time.Now())
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		// A 5xx is the peer's problem, not ours; count it against health so
+		// a crashlooping node ages out, but hand the response back.
+		n.healthOf(member).fail(time.Now())
+	} else {
+		n.healthOf(member).ok()
+	}
+	return resp, nil
+}
+
+// cacheVerdict is the peer verdict wire document.
+type cacheVerdict struct {
+	Val bool `json:"val"`
+}
+
+// verdictTier adapts the ring to qcache.Tier: Get asks the key's ring
+// owner for its locally-held verdict, Put replicates a computed verdict to
+// the owner. Both degrade every failure to a miss/no-op per the tier
+// contract.
+type verdictTier struct{ node *Node }
+
+// Tier returns the node's ring-backed verdict tier, for attaching behind
+// the disk tier in a qcache stack.
+func (n *Node) Tier() qcache.Tier { return &verdictTier{node: n} }
+
+func (t *verdictTier) Name() string          { return RemoteTierName }
+func (t *verdictTier) Source() qcache.Source { return qcache.SrcRemote }
+
+func (t *verdictTier) Get(key qcache.Key) (bool, bool) {
+	n := t.node
+	owner, isSelf := n.OwnerOf(key.RouteID())
+	if isSelf {
+		// This node owns the key; its memory/disk tiers were already
+		// consulted ahead of this one, so there is nothing new to ask.
+		n.misses.Add(1)
+		return false, false
+	}
+	if !n.Available(owner) {
+		n.deadSkips.Add(1)
+		n.misses.Add(1)
+		return false, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), peerTimeout)
+	defer cancel()
+	resp, err := n.PeerRequest(ctx, http.MethodGet, owner, "/v1/cache/"+key.Encode(), nil)
+	if err != nil {
+		n.errors.Add(1)
+		n.misses.Add(1)
+		return false, false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var v cacheVerdict
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<10)).Decode(&v); err != nil {
+			n.errors.Add(1)
+			n.misses.Add(1)
+			return false, false
+		}
+		n.hits.Add(1)
+		return v.Val, true
+	case http.StatusNotFound:
+		n.misses.Add(1)
+		return false, false
+	default:
+		n.errors.Add(1)
+		n.misses.Add(1)
+		return false, false
+	}
+}
+
+func (t *verdictTier) Put(key qcache.Key, val bool) {
+	n := t.node
+	owner, isSelf := n.OwnerOf(key.RouteID())
+	if isSelf || !n.Available(owner) {
+		return
+	}
+	body, err := json.Marshal(cacheVerdict{Val: val})
+	if err != nil {
+		return
+	}
+	n.puts.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), peerTimeout)
+	defer cancel()
+	resp, err := n.PeerRequest(ctx, http.MethodPut, owner, "/v1/cache/"+key.Encode(), body)
+	if err != nil {
+		n.errors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		n.errors.Add(1)
+	}
+}
+
+func (t *verdictTier) Stats() qcache.TierStats { return t.node.TierStats() }
+
+// TierStats snapshots the remote tier's counters.
+func (n *Node) TierStats() qcache.TierStats {
+	return qcache.TierStats{
+		Hits:   n.hits.Load(),
+		Misses: n.misses.Load(),
+		Puts:   n.puts.Load(),
+		Errors: n.errors.Load(),
+	}
+}
+
+// DeadSkips returns how many lookups were skipped because the owner was in
+// dead-peer cooldown.
+func (n *Node) DeadSkips() int64 { return n.deadSkips.Load() }
+
+// RingInfo is the /v1/ring wire document.
+type RingInfo struct {
+	Self    string   `json:"self"`
+	Members []string `json:"members"`
+	Dead    []string `json:"dead,omitempty"`
+}
+
+// Info snapshots the node's membership view.
+func (n *Node) Info() RingInfo {
+	return RingInfo{Self: n.self, Members: n.Members(), Dead: n.DeadPeers()}
+}
+
+// String describes the node for logs.
+func (n *Node) String() string {
+	return fmt.Sprintf("cluster.Node{self=%s members=%d}", n.self, len(n.Members()))
+}

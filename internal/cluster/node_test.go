@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fs"
+	"repro/internal/qcache"
+)
+
+// fakePeer serves the verdict wire protocol from an in-memory map,
+// recording that routed requests carry the loop-guard header.
+type fakePeer struct {
+	mu       sync.Mutex
+	verdicts map[string]bool
+	unrouted int
+}
+
+func (p *fakePeer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if r.Header.Get(RoutedHeader) == "" {
+			p.unrouted++
+		}
+		key := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
+		switch r.Method {
+		case http.MethodGet:
+			if v, ok := p.verdicts[key]; ok {
+				json.NewEncoder(w).Encode(cacheVerdict{Val: v})
+				return
+			}
+			http.Error(w, "miss", http.StatusNotFound)
+		case http.MethodPut:
+			var v cacheVerdict
+			if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			p.verdicts[key] = v.Val
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// peerOwnedKey finds a key whose ring owner is the given member, so tests
+// can force a remote lookup deterministically.
+func peerOwnedKey(t *testing.T, n *Node, owner string) qcache.Key {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		a := fs.DigestExpr(fs.Creat{Path: fs.ParsePath(fmt.Sprintf("/o%d", i)), Content: "x"})
+		b := fs.DigestExpr(fs.Id{})
+		k := qcache.TestKey(a, b, 1)
+		if got, _ := n.OwnerOf(k.RouteID()); got == owner {
+			return k
+		}
+	}
+	t.Fatal("no key owned by peer in 10000 tries")
+	return qcache.Key{}
+}
+
+func TestVerdictTierRoundTrip(t *testing.T) {
+	peer := &fakePeer{verdicts: make(map[string]bool)}
+	srv := httptest.NewServer(peer.handler())
+	defer srv.Close()
+
+	n := NewNode("http://self.invalid", []string{srv.URL})
+	tier := n.Tier()
+	if tier.Name() != RemoteTierName || tier.Source() != qcache.SrcRemote {
+		t.Fatalf("tier identity: %s/%v", tier.Name(), tier.Source())
+	}
+	key := peerOwnedKey(t, n, NormalizeURL(srv.URL))
+
+	if _, ok := tier.Get(key); ok {
+		t.Fatal("empty peer hit")
+	}
+	tier.Put(key, true)
+	if v, ok := peer.verdicts[key.Encode()]; !ok || !v {
+		t.Fatal("put did not reach the peer")
+	}
+	v, ok := tier.Get(key)
+	if !ok || !v {
+		t.Fatalf("get after put: v=%v ok=%v", v, ok)
+	}
+	st := tier.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if peer.unrouted != 0 {
+		t.Errorf("%d peer requests missing the routed header", peer.unrouted)
+	}
+}
+
+func TestVerdictTierSelfOwnedIsMiss(t *testing.T) {
+	// Single-member ring: every key is self-owned; the tier must never
+	// issue a request (there is no one to ask) and must report a miss.
+	n := NewNode("http://self.invalid", nil)
+	tier := n.Tier()
+	key := qcache.TestKey(
+		fs.DigestExpr(fs.Id{}),
+		fs.DigestExpr(fs.Mkdir{Path: fs.ParsePath("/d")}), 1)
+	if _, ok := tier.Get(key); ok {
+		t.Fatal("self-owned key hit remotely")
+	}
+	tier.Put(key, true) // no-op, must not panic or count a put
+	st := tier.Stats()
+	if st.Misses != 1 || st.Puts != 0 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDeadPeerDegradesToMiss(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	dead := srv.URL
+	srv.Close() // nothing listens: every request is a transport error
+
+	n := NewNode("http://self.invalid", []string{dead})
+	tier := n.Tier()
+	key := peerOwnedKey(t, n, NormalizeURL(dead))
+
+	// Every attempt is a miss, never a panic or error surfaced to the
+	// caller; after the threshold the peer enters cooldown and is skipped.
+	for i := 0; i < deadPeerThreshold+2; i++ {
+		if _, ok := tier.Get(key); ok {
+			t.Fatal("dead peer produced a hit")
+		}
+	}
+	if n.Available(NormalizeURL(dead)) {
+		t.Fatal("peer should be in cooldown after repeated failures")
+	}
+	if n.DeadSkips() == 0 {
+		t.Error("cooldown lookups should count as dead skips")
+	}
+	if got := n.DeadPeers(); len(got) != 1 {
+		t.Errorf("dead peers = %v", got)
+	}
+	st := tier.Stats()
+	if st.Errors < deadPeerThreshold {
+		t.Errorf("stats = %+v", st)
+	}
+	// A dead peer also absorbs puts silently.
+	tier.Put(key, true)
+}
+
+func TestMembershipChanges(t *testing.T) {
+	n := NewNode("http://a:1", []string{"http://b:1"})
+	if len(n.Members()) != 2 {
+		t.Fatalf("members = %v", n.Members())
+	}
+	if !n.AddPeer("http://c:1/") || n.AddPeer("http://c:1") {
+		t.Fatal("add peer idempotence broken")
+	}
+	if !n.RemovePeer("http://b:1") || n.RemovePeer("http://b:1") {
+		t.Fatal("remove peer idempotence broken")
+	}
+	if n.RemovePeer("http://a:1") {
+		t.Fatal("a node must not remove itself from its own ring")
+	}
+	got := n.Members()
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://c:1" {
+		t.Fatalf("members = %v", got)
+	}
+	info := n.Info()
+	if info.Self != "http://a:1" || len(info.Members) != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestNormalizeURL(t *testing.T) {
+	cases := map[string]string{
+		"http://a:1/":     "http://a:1",
+		"  http://a:1  ":  "http://a:1",
+		"a:1":             "http://a:1",
+		"https://b:2":     "https://b:2",
+		"":                "",
+		"localhost:8080/": "http://localhost:8080",
+	}
+	for in, want := range cases {
+		if got := NormalizeURL(in); got != want {
+			t.Errorf("NormalizeURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCacheWithRemoteTier wires a real qcache in front of the ring tier:
+// a verdict computed once is served to a second node from the ring without
+// recomputing — the cluster-wide warm path.
+func TestCacheWithRemoteTier(t *testing.T) {
+	// Peer node holds the verdict space behind a real cache.
+	peerCache := qcache.New()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key, err := qcache.DecodeKey(strings.TrimPrefix(r.URL.Path, "/v1/cache/"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			if v, ok := peerCache.LookupLocal(key); ok {
+				json.NewEncoder(w).Encode(cacheVerdict{Val: v})
+				return
+			}
+			http.Error(w, "miss", http.StatusNotFound)
+		case http.MethodPut:
+			var v cacheVerdict
+			if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			peerCache.Seed(key, v.Val)
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	defer srv.Close()
+
+	n := NewNode("http://self.invalid", []string{srv.URL})
+	local := qcache.New()
+	local.AttachTier(n.Tier())
+	key := peerOwnedKey(t, n, NormalizeURL(srv.URL))
+
+	// First compute runs locally and replicates to the ring owner.
+	computes := 0
+	v, src, err := local.Do(key, func() (bool, error) { computes++; return true, nil })
+	if err != nil || !v || src != qcache.SrcComputed {
+		t.Fatalf("first: v=%v src=%v err=%v", v, src, err)
+	}
+	if v, ok := peerCache.Lookup(key); !ok || !v {
+		t.Fatal("verdict not replicated to ring owner")
+	}
+
+	// A cold restart of this node finds the verdict on the ring.
+	cold := qcache.New()
+	cold.AttachTier(n.Tier())
+	v, src, err = cold.Do(key, func() (bool, error) { computes++; return false, nil })
+	if err != nil || !v || src != qcache.SrcRemote {
+		t.Fatalf("cold: v=%v src=%v err=%v", v, src, err)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times", computes)
+	}
+	if st := cold.StatsSnapshot(); st.RemoteHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,134 @@
+// Package cluster shards rehearsald's content-addressed verdict space
+// across a fleet of nodes. Every semantic verdict is keyed by a structural
+// digest (qcache.Key.RouteID), so a verdict computed on one machine is
+// valid on any other; the cluster exploits that by placing each key on a
+// consistent-hash ring over the member nodes. A node consults its memory
+// and disk tiers first, then asks the key's ring owner before ever running
+// the solver, and whole jobs are routed to the owner of their request
+// digest so identical submissions land where caches are hot.
+//
+// The failure model is inherited from the qcache tier contract: peers are
+// accelerators, never correctness dependencies. A slow or dead peer
+// degrades to a cache miss — the local node computes the verdict itself —
+// and membership changes only move ownership of the minimal slice of the
+// key space (consistent hashing), so churn changes hit rates, never
+// verdicts.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the number of virtual nodes per member. 64 points per
+// member keeps the largest/smallest ownership share within a small factor
+// of even for the fleet sizes rehearsald targets (single digits to low
+// tens of nodes) while membership updates stay cheap to rebuild.
+const ringReplicas = 64
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// member.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over member URLs. Membership
+// changes build a new Ring (copy-on-write), so lookups never lock: readers
+// hold a snapshot, writers swap the pointer.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members []string    // sorted, deduplicated
+}
+
+// hashPoint maps a label to its position on the circle: the first eight
+// bytes of its sha256. The label space is tiny compared to the digest
+// space, so cryptographic hashing is about uniformity, not security.
+func hashPoint(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given member URLs. Duplicates are
+// collapsed; an empty member list yields an empty ring whose Owner always
+// returns "".
+func NewRing(members []string) *Ring {
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		points:  make([]ringPoint, 0, len(uniq)*ringReplicas),
+		members: uniq,
+	}
+	for _, m := range uniq {
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashPoint(m + "#" + strconv.Itoa(i)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Members returns the ring's member URLs, sorted. The slice is shared;
+// callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	return i < len(r.members) && r.members[i] == member
+}
+
+// Owner returns the member owning routeID: the first virtual node at or
+// after the key's position on the circle, wrapping at the top. An empty
+// ring owns nothing and returns "".
+func (r *Ring) Owner(routeID string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashPoint(routeID)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// WithMember returns a ring with member added (or r itself if already
+// present).
+func (r *Ring) WithMember(member string) *Ring {
+	if member == "" || r.Has(member) {
+		return r
+	}
+	return NewRing(append(append([]string(nil), r.members...), member))
+}
+
+// WithoutMember returns a ring with member removed (or r itself if
+// absent).
+func (r *Ring) WithoutMember(member string) *Ring {
+	if !r.Has(member) {
+		return r
+	}
+	keep := make([]string, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != member {
+			keep = append(keep, m)
+		}
+	}
+	return NewRing(keep)
+}

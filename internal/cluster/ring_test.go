@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("route-%d", i)
+	}
+	return out
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := NewRing(members)
+	r2 := NewRing([]string{members[2], members[0], members[1], members[0]}) // order + dup insensitive
+	if r1.Len() != 3 || r2.Len() != 3 {
+		t.Fatalf("len = %d, %d", r1.Len(), r2.Len())
+	}
+	for _, k := range keys(200) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %q differs across equivalent rings", k)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(members)
+	counts := map[string]int{}
+	const n = 4000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	// With 64 vnodes per member, shares should be within a factor of ~2 of
+	// even. The bound is deliberately loose: the test pins "no member is
+	// starved or hogging", not a particular hash layout.
+	for _, m := range members {
+		got := counts[m]
+		if got < n/len(members)/2 || got > n*2/len(members) {
+			t.Errorf("member %s owns %d of %d keys (expected near %d)", m, got, n, n/len(members))
+		}
+	}
+}
+
+func TestRingMinimalRebalancing(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	full := NewRing(members)
+	without := full.WithoutMember("http://b:1")
+	moved := 0
+	for _, k := range keys(2000) {
+		before := full.Owner(k)
+		after := without.Owner(k)
+		if before != "http://b:1" {
+			// Consistent hashing's whole point: removing b must not move
+			// keys between a and c.
+			if after != before {
+				t.Fatalf("key %q moved %s -> %s though its owner stayed", k, before, after)
+			}
+		} else {
+			moved++
+			if after == "http://b:1" {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("b owned no keys; distribution test should have caught this")
+	}
+	// Re-adding b restores exactly the original ownership.
+	back := without.WithMember("http://b:1")
+	for _, k := range keys(2000) {
+		if back.Owner(k) != full.Owner(k) {
+			t.Fatalf("re-adding member did not restore ownership of %q", k)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil)
+	if empty.Owner("anything") != "" {
+		t.Error("empty ring must own nothing")
+	}
+	one := NewRing([]string{"http://solo:1"})
+	for _, k := range keys(50) {
+		if one.Owner(k) != "http://solo:1" {
+			t.Fatal("single-member ring must own everything")
+		}
+	}
+	if r := one.WithMember("http://solo:1"); r != one {
+		t.Error("adding an existing member must return the same ring")
+	}
+	if r := one.WithoutMember("http://ghost:1"); r != one {
+		t.Error("removing an absent member must return the same ring")
+	}
+	if !one.Has("http://solo:1") || one.Has("http://ghost:1") {
+		t.Error("Has is wrong")
+	}
+}

@@ -72,6 +72,10 @@ type Stats struct {
 	// DiskCacheHits counts semantic-commutativity decisions answered by
 	// the on-disk verdict tier (0 without Options.CacheDir).
 	DiskCacheHits int
+	// RemoteCacheHits counts semantic-commutativity decisions answered by
+	// the cluster verdict ring (0 without a remote tier attached — i.e.
+	// outside a rehearsald cluster).
+	RemoteCacheHits int
 	// WorkerPanics counts panics recovered inside semantic-commutativity
 	// workers. The first panic aborts the check with a *PanicError, so a
 	// successfully returned result always reports 0; the counter exists
@@ -303,6 +307,7 @@ func (s *System) checkDeterminism(opts Options, delta *diff.Delta) (*Determinism
 	stats.SemCacheHits = int(cc.hits.Load())
 	stats.SolverReuses = int(cc.reuses.Load())
 	stats.DiskCacheHits = int(cc.diskHits.Load())
+	stats.RemoteCacheHits = int(cc.remoteHits.Load())
 	if delta != nil {
 		stats.PairsReused = int(cc.reusedPairs.Load())
 		stats.PairsReverified = int(cc.reverifiedPairs.Load())

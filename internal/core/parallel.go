@@ -97,8 +97,9 @@ type commuteChecker struct {
 	queries  atomic.Int64 // solver queries this check executed
 	hits     atomic.Int64 // decisions served by the shared cache
 	reuses   atomic.Int64 // queries answered by a reused pooled solver
-	diskHits atomic.Int64 // decisions served by the on-disk verdict tier
-	panics   atomic.Int64 // worker panics recovered (each aborts the check)
+	diskHits   atomic.Int64 // decisions served by the on-disk verdict tier
+	remoteHits atomic.Int64 // decisions served by the cluster verdict ring
+	panics     atomic.Int64 // worker panics recovered (each aborts the check)
 
 	// Differential accounting (diffAware is set by the VerifyDiff path).
 	// Each distinct pair key is classified exactly once, on its first
@@ -300,6 +301,9 @@ func (c *commuteChecker) commutes(a, b *workNode) bool {
 	switch src {
 	case qcache.SrcDisk:
 		c.diskHits.Add(1)
+		c.hits.Add(1)
+	case qcache.SrcRemote:
+		c.remoteHits.Add(1)
 		c.hits.Add(1)
 	case qcache.SrcMemory, qcache.SrcCoalesced:
 		c.hits.Add(1)

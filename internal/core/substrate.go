@@ -39,6 +39,12 @@ type SubstrateConfig struct {
 	// circuit breaker then amortize across requests. Nil leaves each job on
 	// the built-in catalog.
 	Provider pkgdb.Provider
+	// RemoteTier, when non-nil, attaches a networked verdict tier behind
+	// the disk tier — in a rehearsald cluster, the consistent-hash peer
+	// ring (internal/cluster). Lookup order is then memory → disk → ring,
+	// and computed verdicts replicate to their ring owner. Per the tier
+	// contract a dead ring degrades to misses, never failures.
+	RemoteTier qcache.Tier
 }
 
 // Substrate owns the cross-request warm state. Create one with
@@ -46,6 +52,7 @@ type SubstrateConfig struct {
 type Substrate struct {
 	cache    *qcache.Cache
 	disk     *qcache.Disk // nil without CacheDir
+	remote   qcache.Tier  // nil without RemoteTier
 	provider pkgdb.Provider
 }
 
@@ -67,6 +74,12 @@ func NewSubstrate(cfg SubstrateConfig) (*Substrate, error) {
 		}
 		s.disk = disk
 		s.cache.AttachDisk(disk)
+	}
+	if cfg.RemoteTier != nil {
+		// Attached after the disk tier: a ring lookup costs a network round
+		// trip, so it runs only when both local tiers miss.
+		s.remote = cfg.RemoteTier
+		s.cache.AttachTier(cfg.RemoteTier)
 	}
 	return s, nil
 }
@@ -97,6 +110,29 @@ func (s *Substrate) DiskStats() (stats qcache.DiskStats, ok bool) {
 		return qcache.DiskStats{}, false
 	}
 	return s.disk.StatsSnapshot(), true
+}
+
+// RemoteStats snapshots the remote verdict tier's counters; ok is false
+// when the substrate has no remote tier.
+func (s *Substrate) RemoteStats() (stats qcache.TierStats, ok bool) {
+	if s.remote == nil {
+		return qcache.TierStats{}, false
+	}
+	return s.remote.Stats(), true
+}
+
+// LocalVerdict returns the verdict this process holds for key in its
+// memory or local (disk) tiers, never asking peers or computing. The peer
+// cache protocol serves from it, which keeps ring lookups single-hop.
+func (s *Substrate) LocalVerdict(key qcache.Key) (val, ok bool) {
+	return s.cache.LookupLocal(key)
+}
+
+// StoreLocal ingests a ring-replicated verdict into the memory table and
+// local tiers. Remote tiers are skipped by qcache.Seed, so ingestion can
+// never echo back into the ring.
+func (s *Substrate) StoreLocal(key qcache.Key, val bool) {
+	s.cache.Seed(key, val)
 }
 
 // ClientStats snapshots the shared provider's client counters; ok is false

@@ -150,18 +150,54 @@ func OpenDisk(dir string, budget int64) (*Disk, error) {
 // Dir returns the store's directory.
 func (d *Disk) Dir() string { return d.dir }
 
-// fileName content-addresses a key: the hex sha256 of its digest pair and
-// budget. The key material is already collision-resistant, so the file
-// name identifies the query exactly.
-func (k Key) fileName() string {
+// diskTierName is the Disk tier's Name in the tier stack.
+const diskTierName = "disk"
+
+// The Tier interface: the disk store is one pluggable tier of the verdict
+// stack (see tier.go). Lookup/Store remain the native API; Get/Put adapt
+// them, and Stats condenses DiskStats into the common tier shape.
+
+// Name implements Tier.
+func (d *Disk) Name() string { return diskTierName }
+
+// Source implements Tier: disk hits are reported as SrcDisk.
+func (d *Disk) Source() Source { return SrcDisk }
+
+// Get implements Tier.
+func (d *Disk) Get(key Key) (val, ok bool) { return d.Lookup(key) }
+
+// Put implements Tier.
+func (d *Disk) Put(key Key, val bool) { d.Store(key, val) }
+
+// Stats implements Tier. Damaged and invalidated files count as errors —
+// they were swallowed, not surfaced.
+func (d *Disk) Stats() TierStats {
+	s := d.StatsSnapshot()
+	return TierStats{
+		Hits:   s.Hits,
+		Misses: s.Misses,
+		Puts:   s.Writes,
+		Errors: s.CorruptEntries + s.Invalidated,
+	}
+}
+
+// contentAddress hashes a key to its canonical hex sha256 content address
+// over the digest pair and budget. The key material is already
+// collision-resistant, so the address identifies the query exactly; the
+// disk tier files verdicts under it and the cluster ring places keys by
+// it.
+func (k Key) contentAddress() string {
 	h := sha256.New()
 	h.Write(k.lo[:])
 	h.Write(k.hi[:])
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], uint64(k.budget))
 	h.Write(b[:])
-	return hex.EncodeToString(h.Sum(nil)) + diskExt
+	return hex.EncodeToString(h.Sum(nil))
 }
+
+// fileName is the key's verdict file name in a disk store.
+func (k Key) fileName() string { return k.contentAddress() + diskExt }
 
 // Lookup reads the stored verdict for key, if a current-scheme file holds
 // one. A hit refreshes the entry's recency (and, best-effort, the file's

@@ -46,13 +46,14 @@ func PairKey(a, b fs.Digest, budget int64) Key {
 
 // Stats is a snapshot of cache effectiveness counters.
 type Stats struct {
-	Hits      int64 // calls answered from the completed-verdict table
-	Misses    int64 // calls that ran the compute function
-	Coalesced int64 // calls that waited on another caller's in-flight query
-	DiskHits  int64 // calls answered by the on-disk tier (AttachDisk)
-	Evictions int64 // verdicts dropped by the LRU bound
-	Size      int   // completed verdicts currently held
-	Cap       int   // configured bound; 0 means unbounded
+	Hits       int64 // calls answered from the completed-verdict table
+	Misses     int64 // calls that ran the compute function
+	Coalesced  int64 // calls that waited on another caller's in-flight query
+	DiskHits   int64 // calls answered by the on-disk tier (AttachDisk)
+	RemoteHits int64 // calls answered by a remote tier (the peer verdict ring)
+	Evictions  int64 // verdicts dropped by the LRU bound
+	Size       int   // completed verdicts currently held
+	Cap        int   // configured bound; 0 means unbounded
 }
 
 // Source says where a Do verdict came from.
@@ -65,6 +66,7 @@ const (
 	SrcMemory                  // completed-verdict table
 	SrcCoalesced               // waited on another caller's in-flight query
 	SrcDisk                    // read from the on-disk tier
+	SrcRemote                  // fetched from a peer over the verdict ring
 )
 
 func (s Source) String() string {
@@ -77,6 +79,8 @@ func (s Source) String() string {
 		return "coalesced"
 	case SrcDisk:
 		return "disk"
+	case SrcRemote:
+		return "remote"
 	default:
 		return "unknown"
 	}
@@ -110,7 +114,7 @@ type Cache struct {
 	done     map[Key]*list.Element
 	lru      *list.List // of *entry, front = most recently used
 	inflight map[Key]*call
-	disk     *Disk // optional second tier; nil: memory only
+	tiers    []Tier // consulted in order on memory misses; may be empty
 	stats    Stats
 }
 
@@ -155,13 +159,57 @@ var shared = New()
 // in this process.
 func Shared() *Cache { return shared }
 
-// AttachDisk adds an on-disk second tier: memory misses consult the disk
-// before computing, and computed verdicts are written through. Attaching
-// nil detaches the tier.
-func (c *Cache) AttachDisk(d *Disk) {
+// AttachTier appends a verdict tier: memory misses consult tiers in
+// attachment order before computing, and computed verdicts are written
+// through every tier. A tier with the same Name as an attached one
+// replaces it in place, keeping its position in the consultation order.
+func (c *Cache) AttachTier(t Tier) {
+	if t == nil {
+		return
+	}
 	c.mu.Lock()
-	c.disk = d
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	for i, old := range c.tiers {
+		if old.Name() == t.Name() {
+			c.tiers[i] = t
+			return
+		}
+	}
+	c.tiers = append(c.tiers, t)
+}
+
+// DetachTier removes the named tier; detaching an unknown name is a no-op.
+func (c *Cache) DetachTier(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, t := range c.tiers {
+		if t.Name() == name {
+			c.tiers = append(c.tiers[:i], c.tiers[i+1:]...)
+			return
+		}
+	}
+}
+
+// AttachDisk adds the on-disk tier: memory misses consult the disk before
+// computing, and computed verdicts are written through. Attaching nil
+// detaches the tier. Kept as sugar over AttachTier for the common case.
+func (c *Cache) AttachDisk(d *Disk) {
+	if d == nil {
+		c.DetachTier(diskTierName)
+		return
+	}
+	c.AttachTier(d)
+}
+
+// tierSnapshot returns the current tier stack without holding c.mu while
+// tiers run (a tier Get may block on I/O or the network).
+func (c *Cache) tierSnapshot() []Tier {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.tiers) == 0 {
+		return nil
+	}
+	return append([]Tier(nil), c.tiers...)
 }
 
 // Do returns the cached verdict for key, computing it with compute on a
@@ -191,13 +239,16 @@ func (c *Cache) Do(key Key, compute func() (bool, error)) (val bool, src Source,
 	}
 	cl := &call{done: make(chan struct{})}
 	c.inflight[key] = cl
-	disk := c.disk
+	tiers := make([]Tier, len(c.tiers))
+	copy(tiers, c.tiers)
 	c.mu.Unlock()
 
 	src = SrcComputed
-	if disk != nil {
-		if v, ok := disk.Lookup(key); ok {
-			cl.val, src = v, SrcDisk
+	hitTier := -1
+	for i, t := range tiers {
+		if v, ok := tierGet(t, key); ok {
+			cl.val, src, hitTier = v, t.Source(), i
+			break
 		}
 	}
 	if src == SrcComputed {
@@ -207,19 +258,88 @@ func (c *Cache) Do(key Key, compute func() (bool, error)) (val bool, src Source,
 	c.mu.Lock()
 	if cl.err == nil {
 		c.insert(key, cl.val)
-		if src == SrcDisk {
+		switch src {
+		case SrcDisk:
 			c.stats.DiskHits++
-		} else {
+		case SrcRemote:
+			c.stats.RemoteHits++
+		default:
 			c.stats.Misses++
 		}
 	}
 	delete(c.inflight, key)
 	c.mu.Unlock()
 	close(cl.done)
-	if cl.err == nil && src == SrcComputed && disk != nil {
-		disk.Store(key, cl.val) // write-through; best-effort
+	if cl.err == nil {
+		switch {
+		case src == SrcComputed:
+			// Write-through, best-effort: the disk tier makes the verdict
+			// survive restarts, a remote tier replicates it to its ring
+			// owner so the whole fleet shares it.
+			for _, t := range tiers {
+				tierPut(t, key, cl.val)
+			}
+		case hitTier > 0:
+			// Promote: a verdict found in a farther tier (e.g. fetched from
+			// a peer) is seeded into the nearer ones, so the next restart or
+			// request answers locally.
+			for _, t := range tiers[:hitTier] {
+				tierPut(t, key, cl.val)
+			}
+		}
 	}
 	return cl.val, src, cl.err
+}
+
+// Seed publishes a completed verdict into the memory table and writes it
+// through every local (non-remote) tier. Peer nodes use it to ingest
+// ring-replicated verdicts; remote tiers are deliberately skipped so
+// ingestion can never echo back into the ring.
+func (c *Cache) Seed(key Key, val bool) {
+	c.mu.Lock()
+	c.insert(key, val)
+	tiers := make([]Tier, len(c.tiers))
+	copy(tiers, c.tiers)
+	c.mu.Unlock()
+	for _, t := range tiers {
+		if t.Source() != SrcRemote {
+			tierPut(t, key, val)
+		}
+	}
+}
+
+// LookupLocal returns the verdict held by this process — the memory table
+// or any local (non-remote) tier — without computing and without asking
+// peers. The peer cache protocol serves from it, which is what keeps ring
+// lookups single-hop: a node answers only from what it holds, never by
+// fanning out further.
+func (c *Cache) LookupLocal(key Key) (val, ok bool) {
+	if v, ok := c.Lookup(key); ok {
+		return v, true
+	}
+	for _, t := range c.tierSnapshot() {
+		if t.Source() == SrcRemote {
+			continue
+		}
+		if v, ok := tierGet(t, key); ok {
+			c.mu.Lock()
+			c.insert(key, v)
+			c.mu.Unlock()
+			return v, true
+		}
+	}
+	return false, false
+}
+
+// TierStatsSnapshot returns the named attached tier's counters; ok is
+// false when no such tier is attached.
+func (c *Cache) TierStatsSnapshot(name string) (TierStats, bool) {
+	for _, t := range c.tierSnapshot() {
+		if t.Name() == name {
+			return t.Stats(), true
+		}
+	}
+	return TierStats{}, false
 }
 
 // Lookup returns the cached verdict without computing. A found verdict

@@ -1,0 +1,163 @@
+package qcache
+
+// The pluggable tier stack. The Cache's completed-verdict table is the
+// always-on first tier; everything behind it — the on-disk store, a
+// rehearsald peer ring, anything else content-addressed — plugs in through
+// the Tier interface. Tiers are consulted in attachment order on a memory
+// miss, before compute runs, and computed verdicts are written through
+// every tier.
+//
+// Tiers are strictly accelerators, never correctness dependencies, so the
+// Cache isolates their failures: a Get or Put that panics is recovered and
+// treated as a miss (tierGet/tierPut below), and implementations are
+// required to swallow their own I/O and transport errors the same way — a
+// slow or dead tier degrades the hit rate, it can never fail a query.
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/fs"
+)
+
+// TierStats snapshots one tier's effectiveness counters in the common
+// shape operators monitor; tier implementations usually keep richer
+// internal counters too (see DiskStats).
+type TierStats struct {
+	Hits   int64 // lookups the tier answered
+	Misses int64 // lookups the tier could not answer
+	Puts   int64 // verdicts written through
+	Errors int64 // swallowed failures (I/O, transport, damaged entries)
+}
+
+// Tier is one verdict tier behind the in-memory table. Implementations
+// must be safe for concurrent use and must degrade every internal failure
+// to a miss — Get and Put have no error returns on purpose.
+type Tier interface {
+	// Name identifies the tier in stats and metrics ("disk", "remote").
+	// Attaching a tier replaces any earlier tier with the same name.
+	Name() string
+	// Source is the Source a hit on this tier is reported as (SrcDisk for
+	// local persistent tiers, SrcRemote for network tiers).
+	Source() Source
+	// Get returns the stored verdict for key, if the tier holds one.
+	Get(key Key) (val, ok bool)
+	// Put stores a verdict, best-effort.
+	Put(key Key, val bool)
+	// Stats snapshots the tier's counters.
+	Stats() TierStats
+}
+
+// tierGet consults a tier with panic isolation: a crashing tier is a miss.
+func tierGet(t Tier, key Key) (val, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, ok = false, false
+		}
+	}()
+	return t.Get(key)
+}
+
+// tierPut writes through a tier with panic isolation.
+func tierPut(t Tier, key Key, val bool) {
+	defer func() { _ = recover() }()
+	t.Put(key, val)
+}
+
+// Encode renders the key for the peer wire protocol: the two digest
+// halves and the budget, dot-joined hex — self-describing enough that the
+// receiving node can rebuild the exact Key and consult its own tiers.
+func (k Key) Encode() string {
+	return hex.EncodeToString(k.lo[:]) + "." + hex.EncodeToString(k.hi[:]) + "." +
+		strconv.FormatInt(k.budget, 10)
+}
+
+// DecodeKey parses a key encoded by Encode.
+func DecodeKey(s string) (Key, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return Key{}, fmt.Errorf("qcache: malformed key %q", s)
+	}
+	var k Key
+	lo, err := hex.DecodeString(parts[0])
+	if err != nil || len(lo) != len(k.lo) {
+		return Key{}, fmt.Errorf("qcache: malformed key digest %q", parts[0])
+	}
+	hi, err := hex.DecodeString(parts[1])
+	if err != nil || len(hi) != len(k.hi) {
+		return Key{}, fmt.Errorf("qcache: malformed key digest %q", parts[1])
+	}
+	budget, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return Key{}, fmt.Errorf("qcache: malformed key budget %q", parts[2])
+	}
+	copy(k.lo[:], lo)
+	copy(k.hi[:], hi)
+	k.budget = budget
+	// Keys are order-normalized at construction; reject wire keys that are
+	// not, so every node addresses the pair identically.
+	norm := PairKey(k.lo, k.hi, budget)
+	if norm != k {
+		return Key{}, fmt.Errorf("qcache: key %q not order-normalized", s)
+	}
+	return k, nil
+}
+
+// RouteID returns the key's content address — the same sha256 the disk
+// tier files verdicts under — used for consistent-hash ring placement.
+// Identical queries route to the same ring owner on every node.
+func (k Key) RouteID() string { return k.contentAddress() }
+
+// TestKey builds a key from raw digest material; only tests and the
+// cluster wire protocol's own tests need keys without expressions behind
+// them.
+func TestKey(a, b fs.Digest, budget int64) Key { return PairKey(a, b, budget) }
+
+// funcTier adapts plain functions to the Tier interface; tests and small
+// adapters use it.
+type funcTier struct {
+	name   string
+	source Source
+	get    func(Key) (bool, bool)
+	put    func(Key, bool)
+
+	hits, misses, puts atomic.Int64
+}
+
+// NewFuncTier wraps get/put functions as a Tier. A nil put makes the tier
+// read-only.
+func NewFuncTier(name string, source Source, get func(Key) (bool, bool), put func(Key, bool)) Tier {
+	return &funcTier{name: name, source: source, get: get, put: put}
+}
+
+func (t *funcTier) Name() string   { return t.name }
+func (t *funcTier) Source() Source { return t.source }
+
+func (t *funcTier) Get(key Key) (bool, bool) {
+	if t.get == nil {
+		t.misses.Add(1)
+		return false, false
+	}
+	v, ok := t.get(key)
+	if ok {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+	return v, ok
+}
+
+func (t *funcTier) Put(key Key, val bool) {
+	if t.put == nil {
+		return
+	}
+	t.puts.Add(1)
+	t.put(key, val)
+}
+
+func (t *funcTier) Stats() TierStats {
+	return TierStats{Hits: t.hits.Load(), Misses: t.misses.Load(), Puts: t.puts.Load()}
+}

@@ -1,0 +1,278 @@
+package qcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// mapTier is an in-memory Tier for tests, optionally wired to misbehave.
+type mapTier struct {
+	name    string
+	source  Source
+	entries map[Key]bool
+	panics  bool // every call panics: the cache must treat it as a miss
+	gets    int
+	puts    int
+}
+
+func newMapTier(name string, source Source) *mapTier {
+	return &mapTier{name: name, source: source, entries: make(map[Key]bool)}
+}
+
+func (t *mapTier) Name() string   { return t.name }
+func (t *mapTier) Source() Source { return t.source }
+
+func (t *mapTier) Get(key Key) (bool, bool) {
+	if t.panics {
+		panic("tier get crashed")
+	}
+	t.gets++
+	v, ok := t.entries[key]
+	return v, ok
+}
+
+func (t *mapTier) Put(key Key, val bool) {
+	if t.panics {
+		panic("tier put crashed")
+	}
+	t.puts++
+	t.entries[key] = val
+}
+
+func (t *mapTier) Stats() TierStats {
+	return TierStats{Hits: int64(len(t.entries)), Puts: int64(t.puts)}
+}
+
+func TestTierWriteThroughAndHit(t *testing.T) {
+	c := New()
+	tier := newMapTier("disk", SrcDisk)
+	c.AttachTier(tier)
+	d := digests(2)
+	key := PairKey(d[0], d[1], 1)
+
+	if _, src, err := c.Do(key, func() (bool, error) { return true, nil }); src != SrcComputed || err != nil {
+		t.Fatalf("first call: src=%v err=%v", src, err)
+	}
+	if v, ok := tier.entries[key]; !ok || !v {
+		t.Fatal("computed verdict not written through the tier")
+	}
+
+	// A fresh cache with the same tier answers from it, not from compute.
+	c2 := New()
+	c2.AttachTier(tier)
+	v, src, err := c2.Do(key, func() (bool, error) { t.Fatal("compute ran"); return false, nil })
+	if !v || src != SrcDisk || err != nil {
+		t.Fatalf("tier hit: v=%v src=%v err=%v", v, src, err)
+	}
+	if st := c2.StatsSnapshot(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTierPanicIsAMiss(t *testing.T) {
+	c := New()
+	bad := newMapTier("disk", SrcDisk)
+	bad.panics = true
+	c.AttachTier(bad)
+	d := digests(2)
+	key := PairKey(d[0], d[1], 1)
+
+	v, src, err := c.Do(key, func() (bool, error) { return true, nil })
+	if !v || src != SrcComputed || err != nil {
+		t.Fatalf("crashing tier must degrade to a miss: v=%v src=%v err=%v", v, src, err)
+	}
+	// Second call is a memory hit; the tier never blocks correctness.
+	if _, src, _ := c.Do(key, nil); src != SrcMemory {
+		t.Fatalf("src = %v", src)
+	}
+}
+
+func TestTierPromotionOnFarHit(t *testing.T) {
+	c := New()
+	near := newMapTier("disk", SrcDisk)
+	far := newMapTier("remote", SrcRemote)
+	c.AttachTier(near)
+	c.AttachTier(far)
+	d := digests(2)
+	key := PairKey(d[0], d[1], 9)
+	far.entries[key] = true
+
+	v, src, err := c.Do(key, func() (bool, error) { t.Fatal("compute ran"); return false, nil })
+	if !v || src != SrcRemote || err != nil {
+		t.Fatalf("far hit: v=%v src=%v err=%v", v, src, err)
+	}
+	if st := c.StatsSnapshot(); st.RemoteHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The far-tier verdict is promoted into the nearer tier…
+	if v, ok := near.entries[key]; !ok || !v {
+		t.Error("remote hit not promoted to the disk tier")
+	}
+	// …but not re-put into the tier that answered.
+	if far.puts != 0 {
+		t.Errorf("far tier re-put %d times", far.puts)
+	}
+}
+
+func TestAttachTierReplacesByName(t *testing.T) {
+	c := New()
+	a := newMapTier("disk", SrcDisk)
+	b := newMapTier("remote", SrcRemote)
+	c.AttachTier(a)
+	c.AttachTier(b)
+	a2 := newMapTier("disk", SrcDisk)
+	c.AttachTier(a2)
+	tiers := c.tierSnapshot()
+	if len(tiers) != 2 || tiers[0] != Tier(a2) || tiers[1] != Tier(b) {
+		t.Fatalf("replacement must keep position: %v", tiers)
+	}
+	c.DetachTier("disk")
+	if tiers := c.tierSnapshot(); len(tiers) != 1 || tiers[0] != Tier(b) {
+		t.Fatalf("after detach: %v", tiers)
+	}
+	c.DetachTier("no-such") // no-op
+}
+
+func TestSeedSkipsRemoteTiers(t *testing.T) {
+	c := New()
+	disk := newMapTier("disk", SrcDisk)
+	remote := newMapTier("remote", SrcRemote)
+	c.AttachTier(disk)
+	c.AttachTier(remote)
+	d := digests(2)
+	key := PairKey(d[0], d[1], 3)
+
+	c.Seed(key, true)
+	if v, ok := c.Lookup(key); !ok || !v {
+		t.Fatal("seed must populate the memory table")
+	}
+	if v, ok := disk.entries[key]; !ok || !v {
+		t.Fatal("seed must write through local tiers")
+	}
+	if remote.puts != 0 {
+		t.Fatal("seed must never echo into a remote tier")
+	}
+}
+
+func TestLookupLocalIgnoresRemote(t *testing.T) {
+	c := New()
+	disk := newMapTier("disk", SrcDisk)
+	remote := newMapTier("remote", SrcRemote)
+	c.AttachTier(disk)
+	c.AttachTier(remote)
+	d := digests(3)
+	inDisk := PairKey(d[0], d[1], 1)
+	inRemote := PairKey(d[0], d[2], 1)
+	disk.entries[inDisk] = true
+	remote.entries[inRemote] = true
+
+	if v, ok := c.LookupLocal(inDisk); !ok || !v {
+		t.Fatal("local lookup must consult local tiers")
+	}
+	// The disk hit is seeded into memory for the next lookup.
+	if v, ok := c.Lookup(inDisk); !ok || !v {
+		t.Fatal("local tier hit not seeded into memory")
+	}
+	if _, ok := c.LookupLocal(inRemote); ok {
+		t.Fatal("local lookup must never ask a remote tier")
+	}
+	if remote.gets != 0 {
+		t.Fatalf("remote tier consulted %d times", remote.gets)
+	}
+}
+
+func TestTierStatsSnapshot(t *testing.T) {
+	c := New()
+	tier := newMapTier("disk", SrcDisk)
+	c.AttachTier(tier)
+	d := digests(2)
+	tier.entries[PairKey(d[0], d[1], 1)] = true
+	st, ok := c.TierStatsSnapshot("disk")
+	if !ok || st.Hits != 1 {
+		t.Fatalf("snapshot = %+v ok=%v", st, ok)
+	}
+	if _, ok := c.TierStatsSnapshot("remote"); ok {
+		t.Fatal("unknown tier must report !ok")
+	}
+}
+
+func TestKeyEncodeDecodeRoundTrip(t *testing.T) {
+	d := digests(2)
+	for _, budget := range []int64{0, 1, 1 << 40} {
+		key := PairKey(d[0], d[1], budget)
+		enc := key.Encode()
+		got, err := DecodeKey(enc)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", enc, err)
+		}
+		if got != key {
+			t.Fatalf("round trip changed key: %q", enc)
+		}
+	}
+}
+
+func TestDecodeKeyRejectsMalformed(t *testing.T) {
+	d := digests(2)
+	good := PairKey(d[0], d[1], 5).Encode()
+	parts := strings.SplitN(good, ".", 3)
+	// Swap the halves: violates order normalization unless equal.
+	swapped := parts[1] + "." + parts[0] + "." + parts[2]
+	bad := []string{
+		"", "x", "a.b", "a.b.c.d",
+		"zz." + parts[1] + "." + parts[2],
+		parts[0] + ".zz." + parts[2],
+		parts[0] + "." + parts[1] + ".notanumber",
+		"ab." + parts[1] + "." + parts[2], // short digest
+	}
+	if parts[0] != parts[1] {
+		bad = append(bad, swapped)
+	}
+	for _, s := range bad {
+		if _, err := DecodeKey(s); err == nil {
+			t.Errorf("DecodeKey(%q) accepted malformed key", s)
+		}
+	}
+	if _, err := DecodeKey(good); err != nil {
+		t.Errorf("DecodeKey(%q): %v", good, err)
+	}
+}
+
+func TestRouteIDStable(t *testing.T) {
+	d := digests(2)
+	a := PairKey(d[0], d[1], 7).RouteID()
+	b := PairKey(d[1], d[0], 7).RouteID()
+	if a != b {
+		t.Error("route ID must be order-insensitive")
+	}
+	if len(a) != 64 {
+		t.Errorf("route ID should be hex sha256, got %d chars", len(a))
+	}
+	if PairKey(d[0], d[1], 8).RouteID() == a {
+		t.Error("route ID must separate budgets")
+	}
+}
+
+func TestFuncTier(t *testing.T) {
+	store := map[Key]bool{}
+	tier := NewFuncTier("x", SrcDisk,
+		func(k Key) (bool, bool) { v, ok := store[k]; return v, ok },
+		func(k Key, v bool) { store[k] = v })
+	d := digests(2)
+	key := PairKey(d[0], d[1], 1)
+	if _, ok := tier.Get(key); ok {
+		t.Fatal("empty tier hit")
+	}
+	tier.Put(key, true)
+	if v, ok := tier.Get(key); !ok || !v {
+		t.Fatal("func tier lost the verdict")
+	}
+	st := tier.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	ro := NewFuncTier("ro", SrcDisk, nil, nil)
+	ro.Put(key, true)
+	if _, ok := ro.Get(key); ok {
+		t.Fatal("nil-get tier must miss")
+	}
+}

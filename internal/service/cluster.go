@@ -1,0 +1,238 @@
+package service
+
+// The cluster surface of rehearsald. When Config.Cluster is set, the
+// daemon joins a consistent-hash ring of peers and the handler grows:
+//
+//	GET    /v1/cache/{key}    peer verdict lookup (this node's local tiers
+//	                          only — single-hop by construction)
+//	PUT    /v1/cache/{key}    peer verdict replication (ingested locally)
+//	GET    /v1/ring           membership view: self, members, dead peers
+//	POST   /v1/ring/peers     add a member {"url": ...}
+//	DELETE /v1/ring/peers     remove a member (?url=...)
+//	GET    /v1/cluster/stats  one node's cache/routing counters as JSON
+//
+// and job submissions are digest-routed: a node that does not own a
+// request's key proxies it to the ring owner (identical submissions from
+// anywhere in the fleet land on one node, whose singleflight and result
+// layer then coalesce them — cluster-wide dedup), with a dead or failing
+// owner degrading to local execution, never an error. Job IDs stay
+// node-local, so lifecycle GETs fan out to peers on a local miss.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/cluster"
+	"repro/internal/qcache"
+)
+
+// verdictDoc is the peer verdict wire document (matches the client side in
+// internal/cluster).
+type verdictDoc struct {
+	Val bool `json:"val"`
+}
+
+// peerURLDoc is the body of POST /v1/ring/peers.
+type peerURLDoc struct {
+	URL string `json:"url"`
+}
+
+// ClusterStats is the GET /v1/cluster/stats document: one node's view.
+// rehearsalctl aggregates it across members.
+type ClusterStats struct {
+	Self    string   `json:"self"`
+	Members []string `json:"members"`
+	Dead    []string `json:"dead,omitempty"`
+
+	Qcache qcache.Stats      `json:"qcache"`
+	Disk   *qcache.DiskStats `json:"disk,omitempty"`
+	Remote *qcache.TierStats `json:"remote,omitempty"`
+
+	RoutedLocal    int64 `json:"routed_local"`
+	RoutedProxied  int64 `json:"routed_proxied"`
+	ProxyFallbacks int64 `json:"proxy_fallbacks"`
+	FanoutLookups  int64 `json:"fanout_lookups"`
+	DeadSkips      int64 `json:"dead_skips"`
+
+	Jobs map[string]int `json:"jobs"`
+}
+
+// registerCluster adds the peer protocol and ring-admin endpoints; called
+// by Handler only when the daemon is clustered.
+func (s *Server) registerCluster(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	mux.HandleFunc("GET /v1/ring", s.handleRing)
+	mux.HandleFunc("POST /v1/ring/peers", s.handleRingAdd)
+	mux.HandleFunc("DELETE /v1/ring/peers", s.handleRingRemove)
+	mux.HandleFunc("GET /v1/cluster/stats", s.handleClusterStats)
+}
+
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key, err := qcache.DecodeKey(r.PathValue("key"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// Local tiers only: a node answers from what it holds, never by asking
+	// the ring in turn, so peer lookups are single-hop even when two nodes
+	// briefly disagree about ownership.
+	if v, ok := s.sched.sub.LocalVerdict(key); ok {
+		writeJSON(w, http.StatusOK, verdictDoc{Val: v})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "verdict not held"})
+}
+
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key, err := qcache.DecodeKey(r.PathValue("key"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	var doc verdictDoc
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad verdict body: " + err.Error()})
+		return
+	}
+	s.sched.sub.StoreLocal(key, doc.Val)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Cluster.Info())
+}
+
+func (s *Server) handleRingAdd(w http.ResponseWriter, r *http.Request) {
+	var doc peerURLDoc
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil || doc.URL == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "want body {\"url\": ...}"})
+		return
+	}
+	s.cfg.Cluster.AddPeer(doc.URL)
+	writeJSON(w, http.StatusOK, s.cfg.Cluster.Info())
+}
+
+func (s *Server) handleRingRemove(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "want ?url=..."})
+		return
+	}
+	s.cfg.Cluster.RemovePeer(url)
+	writeJSON(w, http.StatusOK, s.cfg.Cluster.Info())
+}
+
+func (s *Server) handleClusterStats(w http.ResponseWriter, _ *http.Request) {
+	node := s.cfg.Cluster
+	m := s.sched.met
+	doc := ClusterStats{
+		Self:           node.Self(),
+		Members:        node.Members(),
+		Dead:           node.DeadPeers(),
+		Qcache:         s.sched.sub.QueryCacheStats(),
+		RoutedLocal:    m.routedLocal.Load(),
+		RoutedProxied:  m.routedProxied.Load(),
+		ProxyFallbacks: m.proxyFallbacks.Load(),
+		FanoutLookups:  m.fanoutLookups.Load(),
+		DeadSkips:      node.DeadSkips(),
+		Jobs:           map[string]int{},
+	}
+	if ds, ok := s.sched.sub.DiskStats(); ok {
+		doc.Disk = &ds
+	}
+	if rs, ok := s.sched.sub.RemoteStats(); ok {
+		doc.Remote = &rs
+	}
+	for st, n := range s.sched.store.counts() {
+		doc.Jobs[string(st)] = n
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// routeSubmit digest-routes a validated, base-resolved submission: when a
+// different ring member owns the request key, the submission is proxied
+// there and the owner's response relayed. Returns true when the request
+// was fully handled. False means "run it here": this node owns the key,
+// the request was already routed once (loop guard), or the owner is
+// dead/failing — the fallback that keeps a partitioned cluster serving,
+// at the cost of a cold cache for that job.
+func (s *Server) routeSubmit(w http.ResponseWriter, r *http.Request, req JobRequest) bool {
+	node := s.cfg.Cluster
+	if node == nil {
+		return false
+	}
+	if r.Header.Get(cluster.RoutedHeader) != "" {
+		s.sched.met.routedLocal.Add(1)
+		return false
+	}
+	owner, isSelf := node.OwnerOf(req.Key())
+	if isSelf {
+		s.sched.met.routedLocal.Add(1)
+		return false
+	}
+	if !node.Available(owner) {
+		s.sched.met.proxyFallbacks.Add(1)
+		return false
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		s.sched.met.proxyFallbacks.Add(1)
+		return false
+	}
+	resp, err := node.PeerRequest(r.Context(), http.MethodPost, owner, "/v1/jobs", body)
+	if err != nil || resp.StatusCode >= http.StatusInternalServerError {
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		s.sched.met.proxyFallbacks.Add(1)
+		return false
+	}
+	defer resp.Body.Close()
+	s.sched.met.routedProxied.Add(1)
+	w.Header().Set("X-Rehearsald-Owner", owner)
+	relayResponse(w, resp)
+	return true
+}
+
+// fanoutLookup answers a local job miss by asking every live peer the same
+// GET; the first 200 wins. Job IDs are node-local, so a client that
+// submitted through node A (whose submission was proxied to owner B) can
+// poll any member and still find its job. Returns true when a peer
+// answered.
+func (s *Server) fanoutLookup(w http.ResponseWriter, r *http.Request, path string) bool {
+	node := s.cfg.Cluster
+	if node == nil || r.Header.Get(cluster.RoutedHeader) != "" {
+		return false
+	}
+	for _, member := range node.Members() {
+		if member == node.Self() || !node.Available(member) {
+			continue
+		}
+		resp, err := node.PeerRequest(r.Context(), http.MethodGet, member, path, nil)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			defer resp.Body.Close()
+			s.sched.met.fanoutLookups.Add(1)
+			w.Header().Set("X-Rehearsald-Owner", member)
+			relayResponse(w, resp)
+			return true
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return false
+}
+
+// relayResponse copies a proxied peer response to the client.
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

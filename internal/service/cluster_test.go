@@ -1,0 +1,422 @@
+package service
+
+// Cluster tests: an in-process fleet of daemons wired into one
+// consistent-hash ring. Nodes advertise stable fake hosts (node0.cluster,
+// node1.cluster, ...) mapped onto the per-run httptest listeners by a
+// rewriting transport, so ring ownership — and therefore which assertions
+// exercise the remote path — is deterministic across runs. The contract
+// under test is the ISSUE's: clustering changes hit rates and placement,
+// never verdicts.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// rewriteTransport dials stable advertise hosts via the real listeners.
+type rewriteTransport struct{ hosts map[string]string }
+
+func (rt rewriteTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if real, ok := rt.hosts[req.URL.Host]; ok {
+		clone := req.Clone(req.Context())
+		clone.URL.Host = real
+		clone.URL.Scheme = "http"
+		return http.DefaultTransport.RoundTrip(clone)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// swapHandler gives each listener a URL before the service behind it
+// exists (the cluster node needs every member's URL at construction).
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.h = h
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type testFleet struct {
+	svcs  []*Server
+	ts    []*httptest.Server
+	nodes []*cluster.Node
+}
+
+// startFleet boots n clustered daemons, each with its own substrate whose
+// remote tier is the shared ring.
+func startFleet(t *testing.T, n int, tweak func(i int, cfg *Config)) *testFleet {
+	t.Helper()
+	f := &testFleet{
+		svcs:  make([]*Server, n),
+		ts:    make([]*httptest.Server, n),
+		nodes: make([]*cluster.Node, n),
+	}
+	handlers := make([]*swapHandler, n)
+	hosts := make(map[string]string, n)
+	advertise := make([]string, n)
+	for i := 0; i < n; i++ {
+		handlers[i] = &swapHandler{}
+		f.ts[i] = httptest.NewServer(handlers[i])
+		advertise[i] = fmt.Sprintf("http://node%d.cluster", i)
+		hosts[fmt.Sprintf("node%d.cluster", i)] = strings.TrimPrefix(f.ts[i].URL, "http://")
+	}
+	peerClient := &http.Client{
+		Timeout:   2 * time.Second,
+		Transport: rewriteTransport{hosts: hosts},
+	}
+	for i := 0; i < n; i++ {
+		node := cluster.NewNode(advertise[i], advertise)
+		node.SetHTTPClient(peerClient)
+		sub, err := core.NewSubstrate(core.SubstrateConfig{RemoteTier: node.Tier()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Workers: 2, Substrate: sub, Cluster: node}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		svc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i].set(svc.Handler())
+		f.svcs[i], f.nodes[i] = svc, node
+	}
+	t.Cleanup(func() {
+		for i := range f.svcs {
+			f.ts[i].Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := f.svcs[i].Shutdown(ctx); err != nil {
+				t.Errorf("node %d shutdown: %v", i, err)
+			}
+			cancel()
+		}
+	})
+	return f
+}
+
+// postJobRouted submits with the routed-loop header set, pinning the job
+// to the addressed node (tests use it to control placement).
+func postJobRouted(t *testing.T, ts *httptest.Server, req JobRequest) JobView {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(cluster.RoutedHeader, "1")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("routed submit: status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// verdictFingerprint renders the verdict-bearing part of a report —
+// everything except timings and cache statistics, which legitimately vary
+// with placement. Byte equality of fingerprints is the cluster soundness
+// contract.
+func verdictFingerprint(t *testing.T, rep *Report) string {
+	t.Helper()
+	if rep == nil {
+		return "<no report>"
+	}
+	cp := *rep
+	cp.Stats = nil
+	if cp.Determinism != nil {
+		d := *cp.Determinism
+		d.DurationMS = 0
+		cp.Determinism = &d
+	}
+	if cp.Idempotence != nil {
+		d := *cp.Idempotence
+		d.DurationMS = 0
+		cp.Idempotence = &d
+	}
+	if cp.Invariant != nil {
+		d := *cp.Invariant
+		d.DurationMS = 0
+		cp.Invariant = &d
+	}
+	b, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// clusterWorkload is the manifest mix the differential tests verify at
+// every fleet size: a passing manifest, a determinism bug, a dependency
+// cycle, and a solver-exercising semantic pair.
+var clusterWorkload = []JobRequest{
+	{Manifest: okManifest},
+	{Manifest: buggyManifest},
+	{Manifest: cycleManifest},
+	{Manifest: semManifest, SemanticCommute: true},
+}
+
+// singleNodeFingerprints runs the workload on a fresh unclustered daemon.
+func singleNodeFingerprints(t *testing.T, reqs []JobRequest) []string {
+	t.Helper()
+	_, ts := newTestServer(t, Config{Workers: 2})
+	out := make([]string, len(reqs))
+	for i, req := range reqs {
+		view, status := postJob(t, ts, req)
+		if status != http.StatusAccepted {
+			t.Fatalf("single-node submit %d: status %d", i, status)
+		}
+		out[i] = verdictFingerprint(t, waitTerminal(t, ts, view.ID).Report)
+	}
+	return out
+}
+
+// TestClusterVerdictsMatchSingleNode is the core differential guarantee:
+// the same workload through a 3-node ring — submissions digest-routed,
+// lifecycle polled through the entry node (exercising peer fan-out) —
+// produces byte-identical verdicts to an unclustered daemon.
+func TestClusterVerdictsMatchSingleNode(t *testing.T) {
+	want := singleNodeFingerprints(t, clusterWorkload)
+	f := startFleet(t, 3, nil)
+	for i, req := range clusterWorkload {
+		entry := f.ts[i%3]
+		view, status := postJob(t, entry, req)
+		if status != http.StatusAccepted {
+			t.Fatalf("cluster submit %d: status %d", i, status)
+		}
+		got := verdictFingerprint(t, waitTerminal(t, entry, view.ID).Report)
+		if got != want[i] {
+			t.Errorf("workload %d: cluster verdict diverged\ncluster: %s\nsingle:  %s", i, got, want[i])
+		}
+	}
+	// Each job ran on exactly one node (routedLocal counts executions:
+	// self-owned entries plus routed arrivals), and nothing fell back.
+	var local, proxied, fallbacks int64
+	for _, svc := range f.svcs {
+		local += svc.sched.met.routedLocal.Load()
+		proxied += svc.sched.met.routedProxied.Load()
+		fallbacks += svc.sched.met.proxyFallbacks.Load()
+	}
+	if local != int64(len(clusterWorkload)) || fallbacks != 0 {
+		t.Errorf("routing accounting: local=%d proxied=%d fallbacks=%d", local, proxied, fallbacks)
+	}
+}
+
+// TestClusterWarmRoundRemoteHits pins the cluster-wide warm path: a job
+// computed on node 0 leaves every pair verdict reachable through the ring,
+// so re-running the same manifest pinned to node 1 costs zero solver
+// queries, with at least one verdict fetched from a peer.
+func TestClusterWarmRoundRemoteHits(t *testing.T) {
+	f := startFleet(t, 2, nil)
+	req := JobRequest{Manifest: semManifest, SemanticCommute: true}
+
+	cold := waitTerminal(t, f.ts[0], postJobRouted(t, f.ts[0], req).ID)
+	if cold.Report == nil || cold.Report.Stats == nil || cold.Report.Stats.SemQueries == 0 {
+		t.Fatalf("cold job should have run solver queries: %+v", cold.Report)
+	}
+
+	warm := waitTerminal(t, f.ts[1], postJobRouted(t, f.ts[1], req).ID)
+	if verdictFingerprint(t, warm.Report) != verdictFingerprint(t, cold.Report) {
+		t.Errorf("warm verdict diverged from cold")
+	}
+	if q := warm.Report.Stats.SemQueries; q != 0 {
+		t.Errorf("warm job ran %d solver queries; the ring should have answered all of them", q)
+	}
+	// At least one verdict crossed the wire: either node 1 pulled it from
+	// node 0 (remote hit) or node 0's write-through seeded node 1 (a put
+	// that became a memory hit). Both counters are visible on /metrics.
+	remoteHits := metricValue(t, scrapeMetrics(t, f.ts[1]), "rehearsald_qcache_remote_hits_total")
+	puts := metricValue(t, scrapeMetrics(t, f.ts[0]), "rehearsald_qcache_remote_puts_total")
+	if remoteHits+puts == 0 {
+		t.Errorf("no verdict crossed the ring: remoteHits=%d puts=%d", remoteHits, puts)
+	}
+	if warm.Report.Stats.RemoteCacheHits != int(remoteHits) {
+		t.Errorf("report remote_cache_hits=%d, node metrics say %d",
+			warm.Report.Stats.RemoteCacheHits, remoteHits)
+	}
+}
+
+// TestClusterMembershipChurn exercises join/leave mid-workload: verdicts
+// never change, whatever the ring looked like when each job ran.
+func TestClusterMembershipChurn(t *testing.T) {
+	want := singleNodeFingerprints(t, clusterWorkload)
+	f := startFleet(t, 3, nil)
+
+	check := func(phase string, entries []int) {
+		t.Helper()
+		for i, req := range clusterWorkload {
+			entry := f.ts[entries[i%len(entries)]]
+			view, status := postJob(t, entry, req)
+			if status != http.StatusAccepted {
+				t.Fatalf("%s submit %d: status %d", phase, i, status)
+			}
+			got := verdictFingerprint(t, waitTerminal(t, entry, view.ID).Report)
+			if got != want[i] {
+				t.Errorf("%s: workload %d verdict diverged", phase, i)
+			}
+		}
+	}
+
+	check("full ring", []int{0, 1, 2})
+
+	// Node 2 leaves: the survivors' rings shrink; keys it owned move.
+	for i := 0; i < 2; i++ {
+		if !f.nodes[i].RemovePeer("http://node2.cluster") {
+			t.Fatalf("node %d: remove peer failed", i)
+		}
+	}
+	check("after leave", []int{0, 1})
+
+	// Node 2 rejoins: ownership returns exactly (consistent hashing).
+	for i := 0; i < 2; i++ {
+		if !f.nodes[i].AddPeer("http://node2.cluster") {
+			t.Fatalf("node %d: re-add peer failed", i)
+		}
+	}
+	check("after rejoin", []int{0, 1, 2})
+}
+
+// TestClusterDeadNodeFallback kills one node's listener while it is still
+// on the others' rings: submissions owned by the dead node fall back to
+// local execution — degraded caching, same verdicts, no failures.
+func TestClusterDeadNodeFallback(t *testing.T) {
+	want := singleNodeFingerprints(t, clusterWorkload)
+	f := startFleet(t, 3, nil)
+	f.ts[2].Close() // node 2 dies without leaving the ring
+
+	for i, req := range clusterWorkload {
+		entry := f.ts[i%2] // survivors only
+		view, status := postJob(t, entry, req)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d with dead peer: status %d", i, status)
+		}
+		got := verdictFingerprint(t, waitTerminal(t, entry, view.ID).Report)
+		if got != want[i] {
+			t.Errorf("workload %d: verdict diverged with a dead peer", i)
+		}
+	}
+}
+
+// TestClusterEndpoints covers the peer protocol and ring admin surface
+// over real HTTP: ring info, peer add/remove, per-node stats, and the
+// verdict GET/PUT wire including its validation.
+func TestClusterEndpoints(t *testing.T) {
+	f := startFleet(t, 2, nil)
+
+	var info cluster.RingInfo
+	getJSON(t, f.ts[0].URL+"/v1/ring", &info)
+	if info.Self != "http://node0.cluster" || len(info.Members) != 2 {
+		t.Fatalf("ring info = %+v", info)
+	}
+
+	// Add then remove a peer through the admin endpoints.
+	resp, err := http.Post(f.ts[0].URL+"/v1/ring/peers", "application/json",
+		strings.NewReader(`{"url":"http://node9.cluster"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	getJSON(t, f.ts[0].URL+"/v1/ring", &info)
+	if len(info.Members) != 3 {
+		t.Fatalf("after add: %+v", info)
+	}
+	delReq, _ := http.NewRequest(http.MethodDelete,
+		f.ts[0].URL+"/v1/ring/peers?url=http://node9.cluster", nil)
+	resp, err = http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	getJSON(t, f.ts[0].URL+"/v1/ring", &info)
+	if len(info.Members) != 2 {
+		t.Fatalf("after remove: %+v", info)
+	}
+
+	// Cluster stats decodes and names this node.
+	var st ClusterStats
+	getJSON(t, f.ts[0].URL+"/v1/cluster/stats", &st)
+	if st.Self != "http://node0.cluster" || st.Remote == nil {
+		t.Fatalf("cluster stats = %+v", st)
+	}
+
+	// Verdict wire: malformed keys are rejected, round trips work.
+	resp, err = http.Get(f.ts[0].URL + "/v1/cache/not-a-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed key: status %d", resp.StatusCode)
+	}
+
+	// Metrics exposition includes the cluster series.
+	scrape := scrapeMetrics(t, f.ts[0])
+	for _, name := range []string{
+		"rehearsald_cluster_members",
+		"rehearsald_qcache_remote_hits_total",
+		"rehearsald_qcache_disk_misses_total",
+		"rehearsald_jobs_routed_local_total",
+	} {
+		if !strings.Contains(scrape, name) {
+			// disk series only appear with a disk tier; skip that one.
+			if name == "rehearsald_qcache_disk_misses_total" {
+				continue
+			}
+			t.Errorf("metrics scrape missing %s", name)
+		}
+	}
+	if got := metricValue(t, scrape, "rehearsald_cluster_members"); got != 2 {
+		t.Errorf("rehearsald_cluster_members = %d", got)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

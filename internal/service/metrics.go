@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 )
 
@@ -109,11 +110,18 @@ type metrics struct {
 	running      atomic.Int64 // gauge
 
 	// Engine counters accumulated from each finished job's core.Stats.
-	solverQueries atomic.Int64
-	semCacheHits  atomic.Int64
-	diskCacheHits atomic.Int64
-	solverReuses  atomic.Int64
-	internHits    atomic.Int64
+	solverQueries   atomic.Int64
+	semCacheHits    atomic.Int64
+	diskCacheHits   atomic.Int64
+	remoteCacheHits atomic.Int64
+	solverReuses    atomic.Int64
+	internHits      atomic.Int64
+
+	// Cluster routing counters (all zero outside a cluster).
+	routedLocal    atomic.Int64 // submissions this node owned and ran
+	routedProxied  atomic.Int64 // submissions forwarded to their ring owner
+	proxyFallbacks atomic.Int64 // forwards that failed and ran locally instead
+	fanoutLookups  atomic.Int64 // job GETs answered by asking peers
 
 	detLatency  histogram
 	idemLatency histogram
@@ -129,6 +137,7 @@ func (m *metrics) absorb(rep *Report) {
 		m.solverQueries.Add(int64(rep.Stats.SemQueries))
 		m.semCacheHits.Add(int64(rep.Stats.SemCacheHits))
 		m.diskCacheHits.Add(int64(rep.Stats.DiskCacheHits))
+		m.remoteCacheHits.Add(int64(rep.Stats.RemoteCacheHits))
 		m.solverReuses.Add(int64(rep.Stats.SolverReuses))
 		m.internHits.Add(rep.Stats.InternHits)
 	}
@@ -142,7 +151,7 @@ func (m *metrics) absorb(rep *Report) {
 
 // write renders every counter, plus scrape-time snapshots of the shared
 // substrate and queue, in Prometheus text format.
-func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int, ready bool, counts map[JobState]int, sub *core.Substrate) {
+func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int, ready bool, counts map[JobState]int, sub *core.Substrate, node *cluster.Node) {
 	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
 	p("rehearsald_up 1")
 	p("rehearsald_ready %d", b2i(ready))
@@ -166,6 +175,7 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int, ready bo
 	p("rehearsald_solver_queries_total %d", m.solverQueries.Load())
 	p("rehearsald_sem_cache_hits_total %d", m.semCacheHits.Load())
 	p("rehearsald_disk_cache_hits_total %d", m.diskCacheHits.Load())
+	p("rehearsald_remote_cache_hits_total %d", m.remoteCacheHits.Load())
 	p("rehearsald_solver_reuses_total %d", m.solverReuses.Load())
 	p("rehearsald_intern_hits_total %d", m.internHits.Load())
 	if q, h := m.solverQueries.Load(), m.semCacheHits.Load(); q+h > 0 {
@@ -188,10 +198,22 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int, ready bo
 		}
 		if ds, ok := sub.DiskStats(); ok {
 			p("rehearsald_qcache_disk_hits_total %d", ds.Hits)
+			p("rehearsald_qcache_disk_misses_total %d", ds.Misses)
 			p("rehearsald_qcache_disk_writes_total %d", ds.Writes)
+			p("rehearsald_qcache_disk_evictions_total %d", ds.Evictions)
+			p("rehearsald_qcache_disk_invalidated_total %d", ds.Invalidated)
 			p("rehearsald_qcache_disk_files %d", ds.Files)
 			p("rehearsald_qcache_disk_bytes %d", ds.Bytes)
+			// Corrupt entries are quarantined, not deleted, so the two
+			// series track together; both names exposed for dashboards.
 			p("rehearsald_qcache_disk_corrupt_total %d", ds.CorruptEntries)
+			p("rehearsald_qcache_disk_quarantined_total %d", ds.CorruptEntries)
+		}
+		if rs, ok := sub.RemoteStats(); ok {
+			p("rehearsald_qcache_remote_hits_total %d", rs.Hits)
+			p("rehearsald_qcache_remote_misses_total %d", rs.Misses)
+			p("rehearsald_qcache_remote_puts_total %d", rs.Puts)
+			p("rehearsald_qcache_remote_errors_total %d", rs.Errors)
 		}
 		if cs, ok := sub.ClientStats(); ok {
 			p("rehearsald_pkgdb_attempts_total %d", cs.Attempts)
@@ -201,6 +223,16 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, workers int, ready bo
 			p("rehearsald_pkgdb_breaker_fast_fails_total %d", cs.BreakerFastFails)
 		}
 		p("rehearsald_pkgdb_healthy %d", b2i(sub.ProviderHealthy()))
+	}
+
+	if node != nil {
+		p("rehearsald_cluster_members %d", len(node.Members()))
+		p("rehearsald_cluster_dead_peers %d", len(node.DeadPeers()))
+		p("rehearsald_cluster_dead_skips_total %d", node.DeadSkips())
+		p("rehearsald_jobs_routed_local_total %d", m.routedLocal.Load())
+		p("rehearsald_jobs_routed_proxied_total %d", m.routedProxied.Load())
+		p("rehearsald_jobs_proxy_fallbacks_total %d", m.proxyFallbacks.Load())
+		p("rehearsald_jobs_fanout_lookups_total %d", m.fanoutLookups.Load())
 	}
 
 	m.detLatency.write(w, "rehearsald_check_latency_seconds", `check="determinism",`)

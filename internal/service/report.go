@@ -131,6 +131,7 @@ type StatsReport struct {
 	InternHits        int64   `json:"intern_hits"`
 	EncodeMemoHits    int64   `json:"encode_memo_hits"`
 	DiskCacheHits     int     `json:"disk_cache_hits"`
+	RemoteCacheHits   int     `json:"remote_cache_hits,omitempty"`
 	DurationMS        float64 `json:"duration_ms"`
 
 	// Differential-verification counters, present only on jobs with a
@@ -198,6 +199,7 @@ func statsJSON(s core.Stats) *StatsReport {
 		InternHits:        s.InternHits,
 		EncodeMemoHits:    s.EncodeMemoHits,
 		DiskCacheHits:     s.DiskCacheHits,
+		RemoteCacheHits:   s.RemoteCacheHits,
 		DurationMS:        float64(s.Duration) / float64(time.Millisecond),
 		DiffChanged:       s.DiffChanged,
 		DiffUnchanged:     s.DiffUnchanged,

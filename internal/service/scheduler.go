@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/qcache"
@@ -67,6 +68,16 @@ type Config struct {
 	// fault-injection middleware so chaos testing works against the daemon
 	// out of the box.
 	Faults *faults.Plan
+	// Cluster, when non-nil, joins this daemon to a rehearsald cluster:
+	// the node's ring tier should also be attached to the Substrate (see
+	// core.SubstrateConfig.RemoteTier), submissions are digest-routed to
+	// their ring owner, and the peer cache/ring endpoints are served.
+	Cluster *cluster.Node
+	// ModeledJobLatency, when > 0, floors each job's execution time with a
+	// sleep. Benchmarks use it to model real per-job work (solver time,
+	// catalog I/O) so scheduling and routing effects are measurable on one
+	// machine; production leaves it 0.
+	ModeledJobLatency time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -156,16 +167,9 @@ func newScheduler(cfg Config) (*scheduler, error) {
 // the existing job (deduped true), otherwise a new job is created and
 // enqueued. Admission failures return ErrQueueFull or ErrDraining.
 func (s *scheduler) submit(req JobRequest) (job *Job, deduped bool, err error) {
-	req = req.Normalize()
-	if req.Base != "" {
-		// Resolve the base job reference to its manifest source now, so
-		// the job is self-contained (content-addressed on the base source,
-		// immune to the base job's later eviction).
-		base, ok := s.store.get(req.Base)
-		if !ok {
-			return nil, false, fmt.Errorf("%w: %q", ErrUnknownBase, req.Base)
-		}
-		req.BaseManifest = base.Req.Manifest
+	req, err = s.resolveBase(req)
+	if err != nil {
+		return nil, false, err
 	}
 	key := req.Key()
 	out, err, shared := s.flight.Do(key, func() (*submitOutcome, error) {
@@ -211,6 +215,27 @@ func (s *scheduler) submit(req JobRequest) (job *Job, deduped bool, err error) {
 	return out.job, !out.fresh || shared, nil
 }
 
+// resolveBase normalizes the request and resolves a base job reference to
+// its manifest source, so the job is self-contained: content-addressed on
+// the base source, immune to the base job's later eviction, and — in a
+// cluster — routable to a peer that has never seen the base job ID. Base
+// IDs are node-local, so resolution must happen on the node that received
+// the submission, before any routing; a request that already carries a
+// BaseManifest (one we routed here) resolves to itself.
+func (s *scheduler) resolveBase(req JobRequest) (JobRequest, error) {
+	req = req.Normalize()
+	if req.Base == "" {
+		return req, nil
+	}
+	base, ok := s.store.get(req.Base)
+	if !ok {
+		return req, fmt.Errorf("%w: %q", ErrUnknownBase, req.Base)
+	}
+	req.BaseManifest = base.Req.Manifest
+	req.Base = ""
+	return req, nil
+}
+
 // worker runs jobs until the queue closes.
 func (s *scheduler) worker() {
 	defer s.wg.Done()
@@ -240,6 +265,16 @@ func (s *scheduler) runJob(job *Job) {
 	opts.Context = ctx
 	opts.Timeout = job.Req.Timeout(s.cfg.JobTimeout)
 
+	if d := s.cfg.ModeledJobLatency; d > 0 {
+		// Model real per-job work with a cancelable sleep floor. Sleeps
+		// don't burn CPU, so N colocated bench nodes each keep their full
+		// modeled capacity — aggregate throughput then reflects scheduling
+		// and routing, not contention for one machine's cores.
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+		}
+	}
 	rep := BuildReport(job.Req, opts)
 	job.finish(rep)
 	s.met.running.Add(-1)

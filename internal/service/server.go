@@ -76,6 +76,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.Cluster != nil {
+		s.registerCluster(mux)
+	}
 	var h http.Handler = mux
 	if s.cfg.Faults != nil {
 		h = faults.Middleware(s.cfg.Faults, h)
@@ -120,6 +123,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req = req.Normalize()
 	if err := req.Validate(); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// Base job references are node-local, so they resolve here — on the
+	// node that ran the base job — before any cluster routing; the routed
+	// request carries the resolved base manifest inline.
+	req, err := s.sched.resolveBase(req)
+	if errors.Is(err, ErrUnknownBase) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if s.routeSubmit(w, r, req) {
 		return
 	}
 	job, deduped, err := s.sched.submit(req)
@@ -173,8 +187,14 @@ func strconvItoa(n int) string {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.sched.store.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	job, ok := s.sched.store.get(id)
 	if !ok {
+		// In a cluster the job may live on the ring owner it was proxied
+		// to; ask the peers before giving up.
+		if s.fanoutLookup(w, r, "/v1/jobs/"+id) {
+			return
+		}
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
 		return
 	}
@@ -199,8 +219,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.sched.store.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	job, ok := s.sched.store.get(id)
 	if !ok {
+		if s.fanoutLookup(w, r, "/v1/jobs/"+id+"/witness") {
+			return
+		}
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job"})
 		return
 	}
@@ -224,7 +248,7 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writeMetrics(w interface{ Write([]byte) (int, error) }) {
 	s.sched.met.write(w,
 		len(s.sched.queue), cap(s.sched.queue), s.cfg.Workers,
-		s.ready(), s.sched.store.counts(), s.sched.sub)
+		s.ready(), s.sched.store.counts(), s.sched.sub, s.cfg.Cluster)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
