@@ -17,6 +17,8 @@
 //	                       differential verification: full re-check vs digest diff
 //	experiments -cluster-bench [-cluster-out BENCH_cluster.json]
 //	                       sharded rehearsald ring: warm jobs/sec at 1/2/4 nodes
+//	experiments -sat-bench [-sat-out BENCH_sat.json]
+//	                       portfolio SAT: cold-query p99, single vs k-way race
 //	experiments            all of the above
 //
 // The -timeout flag stands in for the paper's 10-minute limit (default
@@ -53,6 +55,8 @@ func main() {
 	diffOut := flag.String("diff-out", "", "write the differential speedup results as a JSON trajectory point (e.g. BENCH_diff.json)")
 	clusterBench := flag.Bool("cluster-bench", false, "run the sharded-cluster throughput experiment only")
 	clusterOut := flag.String("cluster-out", "", "write the cluster throughput results as a JSON trajectory point (e.g. BENCH_cluster.json)")
+	satBench := flag.Bool("sat-bench", false, "run the portfolio-SAT cold-query latency experiment only")
+	satOut := flag.String("sat-out", "", "write the portfolio-SAT results as a JSON trajectory point (e.g. BENCH_sat.json)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-check timeout (paper: 10 minutes)")
@@ -99,6 +103,8 @@ func main() {
 		printDiff(*timeout, *diffOut)
 	case *clusterBench:
 		printCluster(*timeout, *clusterOut)
+	case *satBench:
+		printSat(*timeout, *satOut)
 	case *fig == "":
 		printFig11a(*timeout)
 		printFig11b(*timeout)
@@ -112,6 +118,7 @@ func main() {
 		printService(*timeout, *serviceOut)
 		printDiff(*timeout, *diffOut)
 		printCluster(*timeout, *clusterOut)
+		printSat(*timeout, *satOut)
 	case *fig == "11a":
 		printFig11a(*timeout)
 	case *fig == "11b":
@@ -372,6 +379,32 @@ func printClusterTable(rep *experiments.ClusterReport) {
 			s.Nodes, s.WarmJobsPerSec, s.SpeedupOverOne, s.RingHits, s.RingPuts, s.RoutedProxied)
 	}
 	fmt.Printf("verdicts byte-identical across fleet sizes: %v\n\n", rep.VerdictsIdentical)
+}
+
+func printSat(timeout time.Duration, out string) {
+	runBench(timeout, time.Minute, out, experiments.BuildSatReport, printSatTable)
+}
+
+func printSatTable(rep *experiments.SatReport) {
+	fmt.Println("== Portfolio SAT: cold-query latency, single config vs k-way race ==")
+	fmt.Printf("workload: %s (host CPUs: %d)\n", rep.Workload, rep.HostCPUs)
+	fmt.Printf("configs: %v; escalation budget E=%d conflicts; %dus/conflict modeled, tail sigma %.1f\n",
+		rep.Configs, rep.EscalateConflicts, rep.ModeledConflictLatencyUS, rep.TailSigma)
+	fmt.Printf("%-10s %10s %10s %10s %10s\n", "series", "p50", "p90", "p99", "mean")
+	for _, s := range []struct {
+		name string
+		d    experiments.SatSeries
+	}{{"single", rep.Single}, {"k=2", rep.Portfolio2}, {"k=4", rep.Portfolio4}} {
+		fmt.Printf("%-10s %8.1fms %8.1fms %8.1fms %8.1fms\n",
+			s.name, s.d.P50MS, s.d.P90MS, s.d.P99MS, s.d.MeanMS)
+	}
+	fmt.Printf("p99 speedup: k=2 %.2fx, k=4 %.2fx (floor %.1fx); p50 at k=4 %.2fx\n",
+		rep.P99Speedup2, rep.P99Speedup4, experiments.MinSatP99Speedup, rep.P50Speedup4)
+	fmt.Printf("verdicts identical: %v, witnesses identical: %v; real k=4 race winners: %v\n",
+		rep.VerdictsIdentical, rep.WitnessesIdentical, rep.RaceWinners)
+	e := rep.Engine
+	fmt.Printf("engine differential (%s, %d workers): single %.3fs vs portfolio %.3fs, %d escalations, %d races, report identical: %v\n\n",
+		e.Manifest, e.Workers, e.SingleSeconds, e.PortfolioSeconds, e.Escalations, e.Races, e.ReportIdentical)
 }
 
 func printBugs(timeout time.Duration) {

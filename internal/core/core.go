@@ -137,6 +137,28 @@ type Options struct {
 	// differential tests pin verdicts to this baseline); the knob exists
 	// for those tests and for the interning benchmark.
 	DisableInterning bool
+	// Portfolio enables portfolio SAT racing for hard semantic-
+	// commutativity queries (see PortfolioOptions). The zero value keeps
+	// every query single-config.
+	Portfolio PortfolioOptions
+}
+
+// PortfolioOptions configures portfolio SAT racing. A query first runs
+// under the default solver config with a small conflict budget
+// (EscalateConflicts); only on exhaustion does it escalate to a race of
+// K diverse configs under the full budget, first verdict wins. Cheap
+// queries — the overwhelming majority — never pay racing overhead, while
+// the hosting/amavis-class queries that set cold p99 get the min-of-K
+// tail. Verdicts and counterexample witnesses are byte-identical to
+// single-config runs by construction (config-independent verdicts plus
+// canonical witness extraction; see internal/sym).
+type PortfolioOptions struct {
+	// K is the number of diverse solver configs raced on escalation
+	// (sat.PortfolioConfigs). Values below 2 disable racing.
+	K int
+	// EscalateConflicts is the conflict budget of the pre-race default-
+	// config attempt; 0 means DefaultEscalateConflicts.
+	EscalateConflicts int64
 }
 
 // DefaultOptions enables every analysis, matching the configuration the

@@ -83,6 +83,25 @@ type Stats struct {
 	// contract) and for tests.
 	WorkerPanics int
 
+	// Core solver search counters, cumulative over every SAT query the
+	// check ran (semantic-commutativity queries across all workers and
+	// portfolio legs, plus the final determinacy disjunction).
+	SolverDecisions    int64
+	SolverPropagations int64
+	SolverConflicts    int64
+	SolverRestarts     int64
+
+	// Portfolio-racing counters (all zero unless Options.Portfolio.K >= 2).
+
+	// PortfolioEscalations counts default-config attempts that exhausted
+	// the escalation budget; PortfolioRaces counts the k-way races those
+	// escalations triggered.
+	PortfolioEscalations int
+	PortfolioRaces       int
+	// WinnerByConfig maps a portfolio config name to the races it won;
+	// only configs with at least one win appear (nil when no race ran).
+	WinnerByConfig map[string]int
+
 	// Differential-verification counters, populated only by the VerifyDiff
 	// path (all zero on a full check).
 
@@ -319,10 +338,33 @@ func (s *System) checkDeterminism(opts Options, delta *diff.Delta) (*Determinism
 			stats.EncodeMemoHits = d
 		}
 	}
+	stats.PortfolioEscalations = int(cc.escalations.Load())
+	stats.PortfolioRaces = int(cc.races.Load())
+	if len(cc.portfolio) > 1 {
+		byConfig := make(map[string]int)
+		for i := range cc.wins {
+			if n := cc.wins[i].Load(); n > 0 {
+				byConfig[cc.portfolio[i].Name] = int(n)
+			}
+		}
+		if len(byConfig) > 0 {
+			stats.WinnerByConfig = byConfig
+		}
+	}
+	// Search counters span the worker queries (cc.satm) plus the final
+	// determinacy disjunction on the big encoder below; filled at return.
+	fillSearch := func() {
+		co := cc.satm.Counters().Add(en.S.Counters())
+		stats.SolverDecisions = co.Decisions
+		stats.SolverPropagations = co.Propagations
+		stats.SolverConflicts = co.Conflicts
+		stats.SolverRestarts = co.Restarts
+	}
 
 	if len(outs) <= 1 {
 		// A single linearization after POR is deterministic by
 		// construction: every order was proven equivalent to it.
+		fillSearch()
 		stats.Duration = time.Since(start)
 		return &DeterminismResult{Deterministic: true, Stats: stats}, nil
 	}
@@ -340,11 +382,13 @@ func (s *System) checkDeterminism(opts Options, delta *diff.Delta) (*Determinism
 
 	switch en.S.Check() {
 	case sat.Unsat:
+		fillSearch()
 		stats.Duration = time.Since(start)
 		return &DeterminismResult{Deterministic: true, Stats: stats}, nil
 	case sat.Unknown:
 		return nil, ErrTimeout
 	}
+	fillSearch()
 
 	// A model: decode the input and identify a distinguishing pair.
 	in, err := en.ModelState(input)

@@ -1,0 +1,114 @@
+package core
+
+// Engine-level portfolio tests: Options.Portfolio must change latency
+// and nothing else. Reports — verdict, counterexample, and the analysis
+// stats that fingerprint a check — must be byte-identical to
+// single-config runs at any worker count, while the racing counters
+// surface the escalations through Stats.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/qcache"
+)
+
+// checkPortfolio runs a determinacy check with the given racing width
+// (k <= 1 disables racing). EscalateConflicts 1 forces every semantic
+// query past the default-config attempt and into a race.
+func checkPortfolio(t *testing.T, manifest string, opts Options, workers, k int) *DeterminismResult {
+	t.Helper()
+	opts.SemanticCommute = true
+	opts.Parallelism = workers
+	opts.SharedQueryCache = qcache.New()
+	opts.Timeout = 2 * time.Minute
+	if k > 1 {
+		opts.Portfolio = PortfolioOptions{K: k, EscalateConflicts: 1}
+	}
+	// Cold pools: a session warmed by an earlier run answers these small
+	// queries without a single conflict, and nothing would ever escalate.
+	ResetSolverPools()
+	s, err := Load(manifest, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckDeterminism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// A deterministic semantic-commute-heavy workload must produce identical
+// reports with and without portfolio racing, at 1 and at 8 workers, and
+// the portfolio run must actually have escalated and raced.
+func TestPortfolioReportIdentical(t *testing.T) {
+	manifest, provider := parallelWorkload(4)
+	for _, workers := range []int{1, 8} {
+		opts := DefaultOptions()
+		opts.Provider = provider
+		single := checkPortfolio(t, manifest, opts, workers, 1)
+		portfolio := checkPortfolio(t, manifest, opts, workers, 4)
+
+		if single.Deterministic != portfolio.Deterministic {
+			t.Fatalf("workers=%d: verdict differs: single=%v portfolio=%v",
+				workers, single.Deterministic, portfolio.Deterministic)
+		}
+		if !reflect.DeepEqual(single.Counterexample, portfolio.Counterexample) {
+			t.Errorf("workers=%d: counterexamples differ:\nsingle: %+v\nportfolio: %+v",
+				workers, single.Counterexample, portfolio.Counterexample)
+		}
+		if single.Stats.Eliminated != portfolio.Stats.Eliminated ||
+			single.Stats.Sequences != portfolio.Stats.Sequences ||
+			single.Stats.Paths != portfolio.Stats.Paths ||
+			single.Stats.Resources != portfolio.Stats.Resources {
+			t.Errorf("workers=%d: analysis stats differ:\nsingle: %+v\nportfolio: %+v",
+				workers, single.Stats, portfolio.Stats)
+		}
+
+		// The single run must not have raced; the portfolio run must have.
+		if single.Stats.PortfolioRaces != 0 || single.Stats.PortfolioEscalations != 0 {
+			t.Errorf("workers=%d: single-config run reports %d races, %d escalations",
+				workers, single.Stats.PortfolioRaces, single.Stats.PortfolioEscalations)
+		}
+		if portfolio.Stats.PortfolioEscalations == 0 || portfolio.Stats.PortfolioRaces == 0 {
+			t.Errorf("workers=%d: portfolio run with EscalateConflicts=1 never raced (escalations=%d races=%d, %d sem queries)",
+				workers, portfolio.Stats.PortfolioEscalations, portfolio.Stats.PortfolioRaces, portfolio.Stats.SemQueries)
+		}
+		wins := 0
+		for _, n := range portfolio.Stats.WinnerByConfig {
+			wins += n
+		}
+		if wins != portfolio.Stats.PortfolioRaces {
+			t.Errorf("workers=%d: WinnerByConfig sums to %d wins over %d races",
+				workers, wins, portfolio.Stats.PortfolioRaces)
+		}
+		// The search counters must be live on both runs.
+		for name, res := range map[string]*DeterminismResult{"single": single, "portfolio": portfolio} {
+			if res.Stats.SolverPropagations == 0 || res.Stats.SolverDecisions == 0 {
+				t.Errorf("workers=%d %s: solver search counters empty: %+v", workers, name, res.Stats)
+			}
+		}
+	}
+}
+
+// A non-deterministic manifest must keep the exact same counterexample
+// under portfolio racing at any worker count: witnesses are re-derived
+// canonically, so report fingerprints cannot depend on which config won.
+func TestPortfolioCounterexampleIdentical(t *testing.T) {
+	single := checkPortfolio(t, fig3c, DefaultOptions(), 1, 1)
+	if single.Deterministic {
+		t.Fatal("fig 3c must be non-deterministic")
+	}
+	for _, workers := range []int{1, 8} {
+		portfolio := checkPortfolio(t, fig3c, DefaultOptions(), workers, 4)
+		if portfolio.Deterministic {
+			t.Fatalf("workers=%d: portfolio run flipped fig 3c to deterministic", workers)
+		}
+		if !reflect.DeepEqual(single.Counterexample, portfolio.Counterexample) {
+			t.Errorf("workers=%d: counterexample differs under portfolio racing:\nsingle: %+v\nportfolio: %+v",
+				workers, single.Counterexample, portfolio.Counterexample)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -143,8 +144,17 @@ type Solver struct {
 	conflicts int64
 	decisions int64
 	props     int64
+	restarts  int64
 	nLearnt   int
 	maxLearnt int
+
+	// cfg holds the normalized search-heuristic knobs (see config.go);
+	// rngState is the config-seeded xorshift64 state behind RandomFreq
+	// and PhaseRandom. stop, when set, lets another goroutine abandon a
+	// running Solve — the portfolio runner's loser cancellation.
+	cfg      Config
+	rngState uint64
+	stop     *atomic.Bool
 
 	// Incremental-solving state (see incremental.go).
 	released    []Var // vars retired by ReleaseVar, scrubbed at the next Simplify
@@ -162,11 +172,19 @@ type Solver struct {
 	Deadline time.Time
 }
 
-// New creates an empty solver.
-func New() *Solver {
+// New creates an empty solver with the default configuration.
+func New() *Solver { return NewWithConfig(Config{}) }
+
+// NewWithConfig creates an empty solver with the given search
+// configuration. The zero Config reproduces New's historical behavior
+// exactly; no Config field can change a SAT/UNSAT verdict.
+func NewWithConfig(cfg Config) *Solver {
+	cfg = cfg.withDefaults()
 	s := &Solver{
-		varInc: 1,
-		claInc: 1,
+		varInc:   1,
+		claInc:   1,
+		cfg:      cfg,
+		rngState: cfg.Seed,
 	}
 	s.order = newVarHeap(&s.activity)
 	// Var 0 is unused so literals index cleanly.
@@ -208,7 +226,7 @@ func (s *Solver) NewVar() Var {
 	}
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, vUnknown)
-	s.phase = append(s.phase, false)
+	s.phase = append(s.phase, s.initPhase())
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nilClause)
 	s.activity = append(s.activity, 0)
@@ -217,6 +235,44 @@ func (s *Solver) NewVar() Var {
 	s.order.push(v)
 	return v
 }
+
+// initPhase returns the starting branching phase for a fresh variable
+// under the configured policy.
+func (s *Solver) initPhase() bool {
+	switch s.cfg.Phase {
+	case PhaseTrue:
+		return true
+	case PhaseRandom:
+		return s.rnd()&1 == 0
+	default:
+		return false
+	}
+}
+
+// rnd advances the config-seeded xorshift64 state. Deterministic for a
+// given Config: no global randomness, no time.
+func (s *Solver) rnd() uint64 {
+	x := s.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rngState = x
+	return x
+}
+
+// randFloat returns a deterministic float in [0, 1).
+func (s *Solver) randFloat() float64 {
+	return float64(s.rnd()>>11) / (1 << 53)
+}
+
+// SetStop installs (or with nil clears) a cancellation flag checked on
+// every Solve iteration: when the flag becomes true, Solve backtracks to
+// the root level and returns Unknown. The solver remains usable — losing
+// a portfolio race does not poison the session.
+func (s *Solver) SetStop(f *atomic.Bool) { s.stop = f }
+
+// ConfigName returns the name of the solver's search configuration.
+func (s *Solver) ConfigName() string { return s.cfg.Name }
 
 func (s *Solver) litValue(l Lit) value {
 	v := s.assigns[l.Var()]
@@ -615,6 +671,16 @@ func (s *Solver) detach(cref clauseRef) {
 }
 
 func (s *Solver) pickBranchLit() (Lit, bool) {
+	// Random decisions (RandomFreq > 0): peek a uniformly random heap
+	// slot without popping; if it is unassigned, branch on it. The
+	// variable stays in the heap — a later VSIDS pop skips it once
+	// assigned — so no ordering invariant is disturbed.
+	if s.cfg.RandomFreq > 0 && len(s.order.heap) > 0 && s.randFloat() < s.cfg.RandomFreq {
+		v := s.order.heap[int(s.rnd()%uint64(len(s.order.heap)))]
+		if s.assigns[v] == vUnknown {
+			return MkLit(v, s.phase[v]), true
+		}
+	}
 	for {
 		v, ok := s.order.pop()
 		if !ok {
@@ -654,9 +720,17 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 	restartIdx := int64(1)
 	conflictsAtStart := s.conflicts
-	restartBudget := luby(restartIdx) * 64
+	geomInterval := float64(s.cfg.RestartBase)
+	restartBudget := luby(restartIdx) * s.cfg.RestartBase
+	if s.cfg.Restart == RestartGeometric {
+		restartBudget = int64(geomInterval)
+	}
 
 	for {
+		if s.stop != nil && s.stop.Load() {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		conflict := s.propagate()
 		if conflict != nilClause {
 			s.conflicts++
@@ -667,8 +741,8 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			learnt, backjump := s.analyze(conflict)
 			s.cancelUntil(backjump)
 			s.record(learnt)
-			s.varInc /= 0.95
-			s.claInc /= 0.999
+			s.varInc /= s.cfg.VarDecay
+			s.claInc /= s.cfg.ClauseDecay
 			if s.Budget > 0 && s.conflicts-conflictsAtStart >= s.Budget {
 				s.cancelUntil(0)
 				return Unknown
@@ -679,15 +753,21 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			}
 			if s.conflicts-conflictsAtStart >= restartBudget {
 				restartIdx++
-				restartBudget = s.conflicts - conflictsAtStart + luby(restartIdx)*64
+				s.restarts++
+				if s.cfg.Restart == RestartGeometric {
+					geomInterval *= s.cfg.RestartGrowth
+					restartBudget = s.conflicts - conflictsAtStart + int64(geomInterval)
+				} else {
+					restartBudget = s.conflicts - conflictsAtStart + luby(restartIdx)*s.cfg.RestartBase
+				}
 				s.cancelUntil(0)
 				if s.maxLearnt == 0 {
-					s.maxLearnt = 4000 + 2*s.NumClauses()
+					s.maxLearnt = s.cfg.MaxLearntBase + 2*s.NumClauses()
 				}
 				if s.nLearnt > s.maxLearnt {
 					s.reduceDB()
 					// Geometric growth of the learnt-clause budget.
-					s.maxLearnt += s.maxLearnt / 10
+					s.maxLearnt += s.maxLearnt * s.cfg.MaxLearntGrowthPct / 100
 				}
 			}
 			continue

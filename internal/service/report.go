@@ -141,6 +141,19 @@ type StatsReport struct {
 	PairsReused     int `json:"pairs_reused,omitempty"`
 	PairsReverified int `json:"pairs_reverified,omitempty"`
 	InheritMisses   int `json:"inherit_misses,omitempty"`
+
+	// Core solver search counters, summed over every SAT query the job
+	// issued (see core.Stats for the semantics).
+	SolverDecisions    int64 `json:"solver_decisions,omitempty"`
+	SolverPropagations int64 `json:"solver_propagations,omitempty"`
+	SolverConflicts    int64 `json:"solver_conflicts,omitempty"`
+	SolverRestarts     int64 `json:"solver_restarts,omitempty"`
+
+	// Portfolio-racing counters, present only when Options.Portfolio is
+	// enabled and a query escalated to a race.
+	PortfolioEscalations int            `json:"portfolio_escalations,omitempty"`
+	PortfolioRaces       int            `json:"portfolio_races,omitempty"`
+	WinnerByConfig       map[string]int `json:"winner_by_config,omitempty"`
 }
 
 func stateJSON(st fs.State) FSState {
@@ -206,6 +219,15 @@ func statsJSON(s core.Stats) *StatsReport {
 		PairsReused:       s.PairsReused,
 		PairsReverified:   s.PairsReverified,
 		InheritMisses:     s.InheritMisses,
+
+		SolverDecisions:    s.SolverDecisions,
+		SolverPropagations: s.SolverPropagations,
+		SolverConflicts:    s.SolverConflicts,
+		SolverRestarts:     s.SolverRestarts,
+
+		PortfolioEscalations: s.PortfolioEscalations,
+		PortfolioRaces:       s.PortfolioRaces,
+		WinnerByConfig:       s.WinnerByConfig,
 	}
 }
 

@@ -13,6 +13,7 @@ package smt
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sat"
@@ -108,9 +109,15 @@ type Solver struct {
 }
 
 // NewSolver creates an empty solver containing only the constant terms.
-func NewSolver() *Solver {
+func NewSolver() *Solver { return NewSolverConfig(sat.Config{}) }
+
+// NewSolverConfig creates an empty solver whose SAT backend uses the
+// given search configuration (see sat.Config; the zero value is the
+// default). The configuration steers search order only — it can never
+// change a Check verdict.
+func NewSolverConfig(cfg sat.Config) *Solver {
 	s := &Solver{
-		sat:      sat.New(),
+		sat:      sat.NewWithConfig(cfg),
 		memo:     make(map[string]T),
 		compiled: make(map[T]sat.Lit),
 	}
@@ -134,6 +141,18 @@ func (s *Solver) SetBudget(conflicts int64) { s.sat.Budget = conflicts }
 // SetDeadline makes Check return sat.Unknown once the deadline passes; the
 // zero time removes the deadline.
 func (s *Solver) SetDeadline(t time.Time) { s.sat.Deadline = t }
+
+// SetStop installs (or with nil clears) a cancellation flag on the SAT
+// backend: a running Check returns sat.Unknown shortly after the flag
+// becomes true, leaving the solver reusable. The portfolio runner uses
+// it to cancel losing configs.
+func (s *Solver) SetStop(f *atomic.Bool) { s.sat.SetStop(f) }
+
+// Counters returns the SAT backend's cumulative search counters.
+func (s *Solver) Counters() sat.Counters { return s.sat.Counters() }
+
+// ConfigName returns the name of the SAT backend's search configuration.
+func (s *Solver) ConfigName() string { return s.sat.ConfigName() }
 
 // Stats reports the underlying SAT solver statistics.
 func (s *Solver) Stats() string { return s.sat.Stats() }

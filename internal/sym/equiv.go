@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fs"
 	"repro/internal/sat"
+	"repro/internal/smt"
 )
 
 // ErrBudget reports that the solver exhausted its conflict budget before
@@ -37,6 +38,12 @@ type Options struct {
 	// Budget bounds SAT conflicts; 0 means unlimited. Exhaustion returns
 	// ErrBudget.
 	Budget int64
+	// Config selects the SAT search configuration (zero = default). It
+	// steers search order only and can never change a verdict.
+	Config sat.Config
+	// Metrics, when non-nil, accumulates the search counters the query
+	// spends. Safe for concurrent use across queries.
+	Metrics *Metrics
 }
 
 // Equiv decides whether e1 ≡ e2: the same outcome (final state or error) on
@@ -52,7 +59,10 @@ func Equiv(e1, e2 fs.Expr, opts Options) (bool, *Counterexample, error) {
 	dom := fs.Dom(e1)
 	dom.AddAll(fs.Dom(e2))
 	v := NewVocab(dom, e1, e2)
-	en := NewEncoder(v)
+	en := NewEncoderConfig(v, opts.Config)
+	if opts.Metrics != nil {
+		defer func() { opts.Metrics.add(en.S.Counters()) }()
+	}
 	if opts.Budget > 0 {
 		en.S.SetBudget(opts.Budget)
 	}
@@ -66,28 +76,76 @@ func Equiv(e1, e2 fs.Expr, opts Options) (bool, *Counterexample, error) {
 	case sat.Unknown:
 		return false, nil, ErrBudget
 	}
-	cex := extractCounterexample(en, input, e1, e2)
+	cex := canonicalCounterexample(en, input, e1, e2)
 	return false, cex, nil
 }
 
-// extractCounterexample decodes the model into a concrete input and replays
-// both expressions on it with the concrete evaluator. The replay is a
-// soundness self-check: the decoded input must actually distinguish the
-// expressions.
-func extractCounterexample(en *Encoder, input *State, e1, e2 fs.Expr) *Counterexample {
-	in, err := en.ModelState(input)
+// canonicalCounterexample derives the canonical counterexample input: the
+// lexicographically minimal model over the vocabulary's sorted paths with
+// kinds ordered none < dir < file. Minimality is a property of the
+// asserted formula alone — not of the model the search happened to find,
+// the solver configuration, the restart schedule or the worker count — so
+// every portfolio config, and the single-config baseline, extracts the
+// byte-identical witness. That is what keeps report fingerprints stable
+// when races are enabled.
+//
+// The walk pins one path at a time: for each path in order it finds the
+// smallest kind consistent with the formula and the pins so far. The
+// current model shortcuts the search — a kind the model already assigns
+// needs no solver call, and every successful probe refreshes the model —
+// so the typical cost is a handful of assumption-only Checks. Contents
+// need no pinning: input contents are constant init tokens, so the kinds
+// determine the witness completely.
+//
+// The replayed fs.Eval comparison at the end is a soundness self-check:
+// the canonical input must actually distinguish the expressions.
+func canonicalCounterexample(en *Encoder, input *State, e1, e2 fs.Expr) *Counterexample {
+	s := en.S
+	s.SetBudget(0) // minimization probes must not hit a query budget
+	w, err := en.ModelState(input)
 	if err != nil {
 		// Callers only reach here straight after Check returned Sat.
 		panic(fmt.Sprintf("sym: no model for counterexample extraction: %v", err))
 	}
-	out1, ok1 := fs.Eval(e1, in)
-	out2, ok2 := fs.Eval(e2, in)
+	pins := make([]smt.T, 0, len(en.V.Paths))
+	for _, p := range en.V.Paths {
+		ps := input.Lookup(p)
+		cur := modelKind(w, p)
+		for k := 0; k < cur; k++ {
+			probe := append(pins[:len(pins):len(pins)], s.EnumIs(ps.Kind, k))
+			if s.Check(probe...) != sat.Sat {
+				continue
+			}
+			w2, err := en.ModelState(input)
+			if err != nil {
+				panic(fmt.Sprintf("sym: no model after canonicalization probe: %v", err))
+			}
+			w, cur = w2, k
+			break
+		}
+		pins = append(pins, s.EnumIs(ps.Kind, cur))
+	}
+	out1, ok1 := fs.Eval(e1, w)
+	out2, ok2 := fs.Eval(e2, w)
 	if ok1 == ok2 && (!ok1 || out1.Equal(out2)) {
 		panic(fmt.Sprintf(
 			"sym: model does not distinguish expressions (encoding bug)\ninput: %s\ne1: %s\ne2: %s",
-			fs.StateString(in), fs.String(e1), fs.String(e2)))
+			fs.StateString(w), fs.String(e1), fs.String(e2)))
 	}
-	return &Counterexample{Input: in, Ok1: ok1, Ok2: ok2, Out1: out1, Out2: out2}
+	return &Counterexample{Input: w, Ok1: ok1, Ok2: ok2, Out1: out1, Out2: out2}
+}
+
+// modelKind returns the kind code of p in the concrete state.
+func modelKind(st fs.State, p fs.Path) int {
+	c, ok := st[p]
+	switch {
+	case !ok:
+		return KindNone
+	case c.Kind == fs.KindDir:
+		return KindDir
+	default:
+		return KindFile
+	}
 }
 
 // Idempotent decides whether e ≡ e; e (section 5). On failure the

@@ -7,6 +7,13 @@ package sym
 // Any divergence means the SAT/SMT/symbolic stack changed a verdict, which
 // no ring, heuristic or preprocessing change is ever allowed to do.
 //
+// Since portfolio racing landed, every case is also solved under each
+// diverse portfolio config individually and as a k-way race
+// (PortfolioCommutes): the verdict must match the default config and the
+// oracle everywhere, and non-commuting cases must yield the byte-identical
+// canonical counterexample regardless of config or race outcome — the
+// determinism contract that keeps report fingerprints stable.
+//
 // CI runs it as a dedicated job with a fixed seed and time box; both knobs
 // are environment-driven so a failure reproduces exactly:
 //
@@ -22,6 +29,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/fs"
 	"repro/internal/graph"
+	"repro/internal/sat"
 )
 
 // fuzzEnvInt reads an integer knob from the environment.
@@ -50,11 +58,21 @@ func oracleCommutes(e1, e2 fs.Expr, inputs []fs.State) bool {
 	return res.Deterministic
 }
 
+// fuzzWitness renders a counterexample for byte-identity comparison
+// across configs ("" when the pair commutes).
+func fuzzWitness(cex *Counterexample) string {
+	if cex == nil {
+		return ""
+	}
+	return cex.String()
+}
+
 func TestFuzzCommutesAgainstOracle(t *testing.T) {
 	seed := fuzzEnvInt(t, "REHEARSAL_FUZZ_SEED", 1)
 	budget := time.Duration(fuzzEnvInt(t, "REHEARSAL_FUZZ_MS", 3000)) * time.Millisecond
 	r := rand.New(rand.NewSource(seed))
 	cfg := fs.DefaultGenConfig()
+	portfolio := sat.PortfolioConfigs(4)
 
 	deadline := time.Now().Add(budget)
 	pairs, disagreements := 0, 0
@@ -69,6 +87,37 @@ func TestFuzzCommutesAgainstOracle(t *testing.T) {
 			// is a real solver failure.
 			t.Fatalf("seed %d pair %d: Commutes failed: %v\ne1: %s\ne2: %s",
 				seed, pairs, err, fs.String(e1), fs.String(e2))
+		}
+		witness := fuzzWitness(cex)
+
+		// Every case also runs under each diverse config individually and
+		// as a k-way race; verdicts and canonical witnesses must be
+		// byte-identical to the default config's.
+		for _, c := range portfolio[1:] {
+			cgot, ccex, err := Commutes(e1, e2, Options{Config: c})
+			if err != nil {
+				t.Fatalf("seed %d pair %d config %s: Commutes failed: %v", seed, pairs, c.Name, err)
+			}
+			if cgot != got {
+				t.Fatalf("seed %d pair %d: config %s verdict %v != default %v\ne1: %s\ne2: %s",
+					seed, pairs, c.Name, cgot, got, fs.String(e1), fs.String(e2))
+			}
+			if w := fuzzWitness(ccex); w != witness {
+				t.Fatalf("seed %d pair %d: config %s canonical witness differs from default\ne1: %s\ne2: %s\ndefault:\n%s\n%s:\n%s",
+					seed, pairs, c.Name, fs.String(e1), fs.String(e2), witness, c.Name, w)
+			}
+		}
+		rgot, rcex, _, err := PortfolioCommutes(e1, e2, portfolio, Options{})
+		if err != nil {
+			t.Fatalf("seed %d pair %d: PortfolioCommutes failed: %v", seed, pairs, err)
+		}
+		if rgot != got {
+			t.Fatalf("seed %d pair %d: race verdict %v != single-config %v\ne1: %s\ne2: %s",
+				seed, pairs, rgot, got, fs.String(e1), fs.String(e2))
+		}
+		if w := fuzzWitness(rcex); w != witness {
+			t.Fatalf("seed %d pair %d: race canonical witness differs from single-config\ne1: %s\ne2: %s",
+				seed, pairs, fs.String(e1), fs.String(e2))
 		}
 
 		// Sample inputs for the oracle; a solver counterexample input joins

@@ -61,6 +61,7 @@ type SessionStats struct {
 	ApplyMisses    int64             // symbolic applications that walked a subtree
 	LearntRetained int               // learnt clauses currently live in the solver
 	Simplify       sat.SimplifyStats // cumulative preprocessing counters
+	Search         sat.Counters      // cumulative SAT search counters
 }
 
 // Session answers a stream of equivalence queries over one fixed vocabulary
@@ -78,7 +79,14 @@ type Session struct {
 // this vocabulary (callers build it from the union of all expressions they
 // will query — see core.checkDeterminism).
 func NewSession(v *Vocab) *Session {
-	en := NewEncoder(v)
+	return NewSessionConfig(v, sat.Config{})
+}
+
+// NewSessionConfig creates a session whose solver uses the given SAT
+// search configuration (zero value = default). Sessions over different
+// configs answer every query identically; only search order differs.
+func NewSessionConfig(v *Vocab, cfg sat.Config) *Session {
+	en := NewEncoderConfig(v, cfg)
 	return &Session{
 		en:        en,
 		input:     en.FreshInputState("in"),
@@ -86,6 +94,9 @@ func NewSession(v *Vocab) *Session {
 		applyNode: make(map[*fs.HExpr]*State),
 	}
 }
+
+// ConfigName returns the name of the session solver's search config.
+func (s *Session) ConfigName() string { return s.en.S.ConfigName() }
 
 // Stats returns the session's counters.
 func (s *Session) Stats() SessionStats {
@@ -157,6 +168,14 @@ func (s *Session) Equiv(e1, e2 fs.Expr, opts Options) (bool, *Counterexample, er
 	if s.en.S.LearntClauses() > sessionLearntCap {
 		s.en.S.ClearLearnts()
 	}
+	before := s.en.S.Counters()
+	defer func() {
+		delta := s.en.S.Counters().Sub(before)
+		s.stats.Search = s.stats.Search.Add(delta)
+		if opts.Metrics != nil {
+			opts.Metrics.add(delta)
+		}
+	}()
 	out1 := s.applyMemo(e1)
 	out2 := s.applyMemo(e2)
 	s.en.S.SetBudget(opts.Budget)
@@ -170,7 +189,7 @@ func (s *Session) Equiv(e1, e2 fs.Expr, opts Options) (bool, *Counterexample, er
 		return false, nil, ErrBudget
 	}
 	// Extract before the deferred Pop invalidates the model.
-	cex := extractCounterexample(s.en, s.input, e1, e2)
+	cex := canonicalCounterexample(s.en, s.input, e1, e2)
 	return false, cex, nil
 }
 

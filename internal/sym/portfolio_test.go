@@ -1,0 +1,216 @@
+package sym
+
+// Portfolio race tests: racing must change latency and nothing else.
+// Adversarial multi-witness pairs must yield the byte-identical canonical
+// counterexample under every config and every race width; loser
+// cancellation must leak no goroutines (this package is in the -race CI
+// set); and budget exhaustion across all legs must surface as ErrBudget.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fs"
+	"repro/internal/sat"
+)
+
+// settleGoroutines fails the test if the goroutine count does not settle
+// back to (roughly) base within a deadline — race legs are joined before
+// the race returns, so only runtime helpers may remain.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d, started with %d\n%s", n, base, buf[:m])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// mkdirIfMissing is the package-model idiom: create the directory only
+// when absent, so two installations of it commute.
+func mkdirIfMissing(path fs.Path) fs.Expr {
+	return fs.If{A: fs.IsDir{Path: path}, Then: fs.Id{}, Else: fs.Mkdir{Path: path}}
+}
+
+// heavyCommutingPair builds two expressions that write disjoint files
+// into n shared directories — they commute, and the UNSAT proof is large
+// enough that race losers are cancelled mid-search.
+func heavyCommutingPair(n int) (fs.Expr, fs.Expr) {
+	var a, b []fs.Expr
+	for i := 0; i < n; i++ {
+		d := fs.Path(fmt.Sprintf("/app/dir%02d", i))
+		a = append(a, mkdirIfMissing(d), fs.Creat{Path: d + "/f1", Content: "a"})
+		b = append(b, mkdirIfMissing(d), fs.Creat{Path: d + "/f2", Content: "b"})
+	}
+	return fs.SeqAll(a...), fs.SeqAll(b...)
+}
+
+// Adversarial multi-witness pair: mkdir /a vs rm /a do not commute, and
+// several input classes witness it (/a absent, /a an empty dir), so
+// diverse configs are free to find different SAT models. The canonical
+// extraction must collapse them all to one byte-identical witness.
+func TestPortfolioCanonicalWitness(t *testing.T) {
+	e1, e2 := fs.Expr(fs.Mkdir{Path: "/a"}), fs.Expr(fs.Rm{Path: "/a"})
+	cfgs := sat.PortfolioConfigs(8)
+
+	ok, cex, err := Commutes(e1, e2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || cex == nil {
+		t.Fatal("mkdir/rm must not commute and must carry a witness")
+	}
+	want := cex.String()
+
+	// Every config individually: trajectories may differ (and for at
+	// least one config must — otherwise the pair is not adversarial),
+	// witnesses may not.
+	var defaultConflicts, divergent int64
+	for i, cfg := range cfgs {
+		var m Metrics
+		cok, ccex, err := Commutes(e1, e2, Options{Config: cfg, Metrics: &m})
+		if err != nil {
+			t.Fatalf("config %s: %v", cfg.Name, err)
+		}
+		if cok || ccex == nil {
+			t.Fatalf("config %s: verdict flipped to commuting", cfg.Name)
+		}
+		if got := ccex.String(); got != want {
+			t.Errorf("config %s: canonical witness differs\nwant:\n%s\ngot:\n%s", cfg.Name, want, got)
+		}
+		c := m.Counters()
+		if i == 0 {
+			defaultConflicts = c.Conflicts
+		} else if c.Conflicts != defaultConflicts || c.Decisions == 0 {
+			divergent++
+		}
+	}
+	_ = divergent // search divergence is expected but not guaranteed on tiny instances
+
+	// Every race width, repeated so different legs get to win.
+	for _, k := range []int{2, 4, 8} {
+		for round := 0; round < 5; round++ {
+			rok, rcex, w, err := PortfolioCommutes(e1, e2, cfgs[:k], Options{})
+			if err != nil {
+				t.Fatalf("k=%d round %d: %v", k, round, err)
+			}
+			if rok || rcex == nil {
+				t.Fatalf("k=%d round %d: verdict flipped to commuting", k, round)
+			}
+			if w < 0 || w >= k {
+				t.Fatalf("k=%d round %d: winner index %d out of range", k, round, w)
+			}
+			if got := rcex.String(); got != want {
+				t.Errorf("k=%d round %d (winner %s): race witness differs from canonical\nwant:\n%s\ngot:\n%s",
+					k, round, cfgs[w].Name, want, got)
+			}
+		}
+	}
+}
+
+// Racing over fresh encoders must cancel losers and join every leg: no
+// goroutine survives the call, across many rounds and race widths.
+func TestPortfolioLoserCancellationNoLeaks(t *testing.T) {
+	e1, e2 := heavyCommutingPair(12)
+	cfgs := sat.PortfolioConfigs(4)
+	base := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		k := 2 + round%3 // 2, 3, 4
+		ok, cex, _, err := PortfolioCommutes(e1, e2, cfgs[:k], Options{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !ok || cex != nil {
+			t.Fatalf("round %d: disjoint-file pair must commute", round)
+		}
+	}
+	settleGoroutines(t, base)
+}
+
+// Racing over warm pooled sessions (the engine's path) must behave the
+// same: verdicts and witnesses identical to a single session, scopes
+// retired so sessions stay reusable, and no goroutine leaked.
+func TestRaceSessionsReusableNoLeaks(t *testing.T) {
+	e1, e2 := heavyCommutingPair(8)
+	n1, n2 := fs.Expr(fs.Mkdir{Path: "/app/dir00"}), fs.Expr(fs.Rm{Path: "/app/dir00"})
+
+	dom := fs.Dom(e1)
+	dom.AddAll(fs.Dom(e2))
+	dom.AddAll(fs.Dom(n1))
+	dom.AddAll(fs.Dom(n2))
+	pair := func(a, b fs.Expr) (fs.Expr, fs.Expr) {
+		return fs.Seq{E1: a, E2: b}, fs.Seq{E1: b, E2: a}
+	}
+	l1, r1 := pair(e1, e2)
+	l2, r2 := pair(n1, n2)
+	v := NewVocab(dom, l1, r1, l2, r2)
+
+	cfgs := sat.PortfolioConfigs(4)
+	sessions := make([]*Session, len(cfgs))
+	for i, cfg := range cfgs {
+		sessions[i] = NewSessionConfig(v, cfg)
+	}
+	single := NewSession(v)
+
+	base := runtime.NumGoroutine()
+	for round := 0; round < 6; round++ {
+		// Alternate a commuting and a non-commuting query through the SAME
+		// sessions: a scope leaked by a race would poison the next query.
+		ok, cex, _, err := RaceCommutes(sessions, e1, e2, Options{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		sok, scex, serr := single.Commutes(e1, e2, Options{})
+		if serr != nil {
+			t.Fatalf("round %d: %v", round, serr)
+		}
+		if ok != sok {
+			t.Fatalf("round %d: race verdict %v != session verdict %v", round, ok, sok)
+		}
+		if (cex == nil) != (scex == nil) || (cex != nil && cex.String() != scex.String()) {
+			t.Fatalf("round %d: race witness differs from session witness", round)
+		}
+
+		ok, cex, _, err = RaceCommutes(sessions, n1, n2, Options{})
+		if err != nil {
+			t.Fatalf("round %d (witness query): %v", round, err)
+		}
+		sok, scex, serr = single.Commutes(n1, n2, Options{})
+		if serr != nil {
+			t.Fatalf("round %d (witness query): %v", round, serr)
+		}
+		if ok != sok || ok {
+			t.Fatalf("round %d: mkdir/rm race verdict %v (session %v), want non-commuting", round, ok, sok)
+		}
+		if cex == nil || scex == nil || cex.String() != scex.String() {
+			t.Fatalf("round %d: race witness differs from session witness", round)
+		}
+	}
+	settleGoroutines(t, base)
+}
+
+// When every leg exhausts its budget the race reports ErrBudget with a
+// winnerless outcome — and still joins all goroutines.
+func TestPortfolioBudgetExhausted(t *testing.T) {
+	e1, e2 := heavyCommutingPair(12)
+	base := runtime.NumGoroutine()
+	ok, cex, w, err := PortfolioCommutes(e1, e2, sat.PortfolioConfigs(4), Options{Budget: 1})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("got (%v, %v, %d, %v), want ErrBudget", ok, cex, w, err)
+	}
+	if w != -1 {
+		t.Errorf("winner index = %d on budget exhaustion, want -1", w)
+	}
+	settleGoroutines(t, base)
+}
