@@ -1,0 +1,491 @@
+// Command rehearsal-load soaks an in-process rehearsald with a seeded
+// zipfian job mix at a fixed request rate and enforces the service's
+// robustness SLOs: per-round-type p50/p99 latency budgets, zero
+// goroutine and file-descriptor growth across the whole run, and a
+// bounded heap — all via the same leakcheck oracle the service tests
+// use. Results land in a machine-readable BENCH_soak.json.
+//
+// The mix models a real site's traffic: manifest popularity is zipfian
+// (a few role manifests dominate), and each request is classified by
+// the work the daemon can avoid:
+//
+//	cold      first sight of this manifest — full verify, solver work
+//	warm      reworded popular manifest (new digest, same resources) —
+//	          semantic verdicts answered from the substrate cache
+//	resubmit  byte-identical re-submission — answered by the
+//	          scheduler's dedup/result layer, no engine work
+//
+// Submissions go over real HTTP (exercising admission control and the
+// handlers); completion is observed via the job's Done channel, so
+// latencies are scheduler-true, not poll-quantized.
+//
+//	rehearsal-load -duration 30s -rps 25 -out BENCH_soak.json
+//
+// Exit codes: 0 all SLOs and leak checks passed, 1 a budget or leak
+// check failed, 2 harness error.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/leakcheck"
+	"repro/internal/pkgdb"
+	"repro/internal/service"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+type config struct {
+	duration   time.Duration
+	rps        float64
+	seed       int64
+	pool       int
+	warmFrac   float64
+	workers    int
+	queueDepth int
+	heapBudget uint64
+	out        string
+
+	slo map[string]sloBudget // per round type, milliseconds
+}
+
+type sloBudget struct {
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+var roundTypes = []string{"cold", "warm", "resubmit"}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rehearsal-load", flag.ContinueOnError)
+	cfg := config{slo: map[string]sloBudget{}}
+	fs.DurationVar(&cfg.duration, "duration", 30*time.Second, "soak length")
+	fs.Float64Var(&cfg.rps, "rps", 25, "fixed submission rate (requests/second, open loop)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "zipf and mix seed")
+	fs.IntVar(&cfg.pool, "pool", 16, "distinct manifests in the zipfian pool")
+	fs.Float64Var(&cfg.warmFrac, "warm-frac", 0.3, "fraction of repeat sightings reworded into warm (cache-path) jobs")
+	fs.IntVar(&cfg.workers, "workers", 4, "daemon verification workers")
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 256, "daemon admission queue depth")
+	heapMB := fs.Int("heap-budget-mb", 64, "allowed post-GC heap growth over the run, MiB")
+	fs.StringVar(&cfg.out, "out", "BENCH_soak.json", "result file")
+	sloFlags := map[string][2]*int{}
+	defaults := map[string][2]int{"cold": {1500, 4000}, "warm": {1000, 3000}, "resubmit": {500, 2000}}
+	for _, rt := range roundTypes {
+		d := defaults[rt]
+		sloFlags[rt] = [2]*int{
+			fs.Int("slo-"+rt+"-p50", d[0], rt+" round p50 budget, ms"),
+			fs.Int("slo-"+rt+"-p99", d[1], rt+" round p99 budget, ms"),
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if cfg.pool < 2 || cfg.rps <= 0 || cfg.duration <= 0 {
+		fmt.Fprintln(os.Stderr, "rehearsal-load: need -pool >= 2, -rps > 0, -duration > 0")
+		return 2
+	}
+	cfg.heapBudget = uint64(*heapMB) << 20
+	for _, rt := range roundTypes {
+		cfg.slo[rt] = sloBudget{P50MS: float64(*sloFlags[rt][0]), P99MS: float64(*sloFlags[rt][1])}
+	}
+
+	rep, err := soak(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rehearsal-load: %v\n", err)
+		return 2
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rehearsal-load: %v\n", err)
+		return 2
+	}
+	if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "rehearsal-load: %v\n", err)
+		return 2
+	}
+	fmt.Print(rep.summary())
+	if !rep.Pass {
+		return 1
+	}
+	return 0
+}
+
+// --- workload ---------------------------------------------------------
+
+// soakWindow is the number of packages per manifest; 2 gives each cold
+// manifest exactly one fresh semantic-commutativity query, so cold
+// rounds do solver work and warm rounds provably skip it.
+const soakWindow = 2
+
+// workload builds the manifest pool and the catalog serving it: pool
+// sliding two-package windows over shared svc packages, all depending
+// on a common library so neighboring manifests overlap the way a real
+// site's role manifests do.
+func workload(pool int) ([]string, pkgdb.Provider) {
+	catalog := pkgdb.NewCatalog()
+	lib := &pkgdb.Package{Name: "libcommon", Version: "1.0"}
+	for i := 0; i < 16; i++ {
+		lib.Files = append(lib.Files, fmt.Sprintf("/usr/lib/libcommon/lib%03d", i))
+	}
+	catalog.Add("ubuntu", lib)
+	for i := 1; i <= pool+soakWindow; i++ {
+		name := fmt.Sprintf("svc-%d", i)
+		p := &pkgdb.Package{Name: name, Version: "1.0", Depends: []string{"libcommon"}}
+		for j := 0; j < 4; j++ {
+			p.Files = append(p.Files, fmt.Sprintf("/usr/lib/%s/lib%03d", name, j))
+		}
+		catalog.Add("ubuntu", p)
+	}
+	manifests := make([]string, pool)
+	for i := range manifests {
+		m := ""
+		for j := 0; j < soakWindow; j++ {
+			m += fmt.Sprintf("package {'svc-%d': ensure => present }\n", 1+(i+j)%(pool+soakWindow))
+		}
+		manifests[i] = m
+	}
+	return manifests, catalog
+}
+
+// request is one scheduled submission.
+type request struct {
+	kind string // cold | warm | resubmit
+	body string
+}
+
+// schedule precomputes the whole seeded mix so the pacer does no RNG
+// work on the hot path and a given (seed, rps, duration, pool) always
+// replays the same traffic.
+func schedule(cfg config, manifests []string) []request {
+	n := int(cfg.rps * cfg.duration.Seconds())
+	rng := rand.New(rand.NewSource(cfg.seed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(manifests)-1))
+	seen := make(map[uint64]bool, len(manifests))
+	reqs := make([]request, 0, n)
+	warms := 0
+	for i := 0; i < n; i++ {
+		idx := zipf.Uint64()
+		switch {
+		case !seen[idx]:
+			seen[idx] = true
+			reqs = append(reqs, request{kind: "cold", body: manifests[idx]})
+		case rng.Float64() < cfg.warmFrac:
+			// A reworded re-sighting: new digest (no dedup), same resource
+			// set, so its semantic queries hit the substrate cache.
+			warms++
+			reqs = append(reqs, request{
+				kind: "warm",
+				body: fmt.Sprintf("# warm variant %d\n%s", warms, manifests[idx]),
+			})
+		default:
+			reqs = append(reqs, request{kind: "resubmit", body: manifests[idx]})
+		}
+	}
+	return reqs
+}
+
+// --- the soak ---------------------------------------------------------
+
+// sample is one completed (or rejected) request's observation.
+type sample struct {
+	kind     string
+	latency  time.Duration
+	rejected bool // 429/503 at admission
+	failed   bool // terminal state other than done/pass
+}
+
+func soak(cfg config) (*soakReport, error) {
+	// Touch the network once before the baseline: the runtime's poller
+	// lazily opens two descriptors (epoll + eventfd) on first use and
+	// keeps them for the process's life — absorb them into the base so
+	// the fd gate measures the workload, not runtime initialization.
+	if ln, err := net.Listen("tcp", "127.0.0.1:0"); err == nil {
+		ln.Close()
+	}
+	base := leakcheck.Take()
+
+	manifests, provider := workload(cfg.pool)
+	reqs := schedule(cfg, manifests)
+
+	core.ResetSolverPools()
+	sub, err := core.NewSubstrate(core.SubstrateConfig{Provider: provider})
+	if err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	opts.Parallelism = 1 // service-level parallelism is what the soak loads
+	svc, err := service.New(service.Config{
+		Workers:     cfg.workers,
+		QueueDepth:  cfg.queueDepth,
+		JobTimeout:  time.Minute,
+		Substrate:   sub,
+		BaseOptions: &opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(svc.Handler())
+	transport := &http.Transport{MaxIdleConnsPerHost: 2 * cfg.workers}
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	// Open-loop pacing: fire at fixed intervals regardless of completions,
+	// so a slow daemon shows up as latency (and eventually 429s), exactly
+	// as production load would surface it.
+	interval := time.Duration(float64(time.Second) / cfg.rps)
+	samples := make([]sample, len(reqs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	for i := range reqs {
+		if i > 0 {
+			<-tick.C
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples[i] = submit(svc, ts.URL, client, reqs[i])
+		}(i)
+	}
+	tick.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	shutdownCtx, cancel := shutdownContext()
+	err = svc.Shutdown(shutdownCtx)
+	cancel()
+	ts.Close()
+	transport.CloseIdleConnections()
+	if err != nil {
+		return nil, fmt.Errorf("shutdown after soak: %w", err)
+	}
+
+	// The leak gate: after a full drain the process must be back at its
+	// pre-boot goroutine and fd counts, and the post-GC heap within
+	// budget — minutes of traffic must not accrete anything.
+	runtime.GC()
+	leaks := leakReport{
+		GoroutinesBefore: base.Goroutines,
+		FDsBefore:        base.FDs,
+		HeapBudgetBytes:  cfg.heapBudget,
+		OK:               true,
+	}
+	settleErr := leakcheck.Settle(base, leakcheck.Opts{
+		HeapBudget: cfg.heapBudget,
+		Timeout:    15 * time.Second,
+	})
+	now := leakcheck.Take()
+	leaks.GoroutinesAfter = now.Goroutines
+	leaks.FDsAfter = now.FDs
+	leaks.HeapGrowthBytes = int64(now.HeapBytes) - int64(base.HeapBytes)
+	if settleErr != nil {
+		leaks.OK = false
+		leaks.Detail = settleErr.Error()
+	}
+
+	return build(cfg, reqs, samples, elapsed, leaks), nil
+}
+
+func shutdownContext() (ctx context.Context, cancel context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+// submit posts one job and waits for its terminal state via the job's
+// Done channel (no polling), returning the client-observed latency.
+func submit(svc *service.Server, url string, client *http.Client, r request) sample {
+	req := service.JobRequest{
+		Manifest:        r.body,
+		SemanticCommute: true,
+		Checks:          []string{service.CheckDeterminism},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return sample{kind: r.kind, failed: true}
+	}
+	t0 := time.Now()
+	resp, err := client.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{kind: r.kind, failed: true}
+	}
+	var view service.JobView
+	decErr := json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted, http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return sample{kind: r.kind, rejected: true}
+	default:
+		return sample{kind: r.kind, failed: true}
+	}
+	if decErr != nil || view.ID == "" {
+		return sample{kind: r.kind, failed: true}
+	}
+	job, ok := svc.Job(view.ID)
+	if !ok {
+		return sample{kind: r.kind, failed: true}
+	}
+	<-job.Done()
+	lat := time.Since(t0)
+	rep := job.Report()
+	failed := rep == nil || rep.Verdict != service.VerdictPass
+	return sample{kind: r.kind, latency: lat, failed: failed}
+}
+
+// --- reporting --------------------------------------------------------
+
+type roundStats struct {
+	Count       int     `json:"count"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	SLOP50MS    float64 `json:"slo_p50_ms"`
+	SLOP99MS    float64 `json:"slo_p99_ms"`
+	P50MarginMS float64 `json:"p50_margin_ms"` // budget minus observed; negative = violated
+	P99MarginMS float64 `json:"p99_margin_ms"`
+	OK          bool    `json:"ok"`
+}
+
+type leakReport struct {
+	GoroutinesBefore int    `json:"goroutines_before"`
+	GoroutinesAfter  int    `json:"goroutines_after"`
+	FDsBefore        int    `json:"fds_before"`
+	FDsAfter         int    `json:"fds_after"`
+	HeapGrowthBytes  int64  `json:"heap_growth_bytes"`
+	HeapBudgetBytes  uint64 `json:"heap_budget_bytes"`
+	OK               bool   `json:"ok"`
+	Detail           string `json:"detail,omitempty"`
+}
+
+type soakConfig struct {
+	DurationS  float64 `json:"duration_s"`
+	TargetRPS  float64 `json:"target_rps"`
+	Seed       int64   `json:"seed"`
+	Pool       int     `json:"pool"`
+	WarmFrac   float64 `json:"warm_frac"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	HostCPUs   int     `json:"host_cpus"`
+}
+
+type soakReport struct {
+	Benchmark   string                `json:"benchmark"`
+	Config      soakConfig            `json:"config"`
+	Submitted   int                   `json:"submitted"`
+	Completed   int                   `json:"completed"`
+	Rejected    int                   `json:"rejected"`
+	Failed      int                   `json:"failed"`
+	AchievedRPS float64               `json:"achieved_rps"`
+	Rounds      map[string]roundStats `json:"rounds"`
+	Leaks       leakReport            `json:"leaks"`
+	Pass        bool                  `json:"pass"`
+}
+
+func build(cfg config, reqs []request, samples []sample, elapsed time.Duration, leaks leakReport) *soakReport {
+	rep := &soakReport{
+		Benchmark: "BenchmarkSoakFixedRPS",
+		Config: soakConfig{
+			DurationS:  cfg.duration.Seconds(),
+			TargetRPS:  cfg.rps,
+			Seed:       cfg.seed,
+			Pool:       cfg.pool,
+			WarmFrac:   cfg.warmFrac,
+			Workers:    cfg.workers,
+			QueueDepth: cfg.queueDepth,
+			HostCPUs:   runtime.NumCPU(),
+		},
+		Submitted: len(reqs),
+		Rounds:    map[string]roundStats{},
+		Leaks:     leaks,
+	}
+	lats := map[string][]time.Duration{}
+	for _, s := range samples {
+		switch {
+		case s.rejected:
+			rep.Rejected++
+		case s.failed:
+			rep.Failed++
+		default:
+			rep.Completed++
+			lats[s.kind] = append(lats[s.kind], s.latency)
+		}
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Completed) / elapsed.Seconds()
+	}
+	rep.Pass = rep.Rejected == 0 && rep.Failed == 0 && leaks.OK
+	for _, rt := range roundTypes {
+		ls := lats[rt]
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		budget := cfg.slo[rt]
+		rs := roundStats{
+			Count:    len(ls),
+			P50MS:    quantileMS(ls, 0.50),
+			P99MS:    quantileMS(ls, 0.99),
+			SLOP50MS: budget.P50MS,
+			SLOP99MS: budget.P99MS,
+		}
+		rs.P50MarginMS = rs.SLOP50MS - rs.P50MS
+		rs.P99MarginMS = rs.SLOP99MS - rs.P99MS
+		rs.OK = rs.P50MarginMS >= 0 && rs.P99MarginMS >= 0
+		if !rs.OK {
+			rep.Pass = false
+		}
+		rep.Rounds[rt] = rs
+	}
+	return rep
+}
+
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func (r *soakReport) summary() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "soak: %d submitted, %d completed, %d rejected, %d failed, %.1f req/s achieved (target %.1f)\n",
+		r.Submitted, r.Completed, r.Rejected, r.Failed, r.AchievedRPS, r.Config.TargetRPS)
+	for _, rt := range roundTypes {
+		rs := r.Rounds[rt]
+		verdict := "ok"
+		if !rs.OK {
+			verdict = "SLO VIOLATED"
+		}
+		fmt.Fprintf(&b, "  %-8s n=%-5d p50 %7.1fms (budget %7.1fms)  p99 %7.1fms (budget %7.1fms)  %s\n",
+			rt, rs.Count, rs.P50MS, rs.SLOP50MS, rs.P99MS, rs.SLOP99MS, verdict)
+	}
+	leak := "ok"
+	if !r.Leaks.OK {
+		leak = "LEAKED"
+	}
+	fmt.Fprintf(&b, "  leaks: goroutines %d → %d, fds %d → %d, heap %+d bytes (budget %d)  %s\n",
+		r.Leaks.GoroutinesBefore, r.Leaks.GoroutinesAfter,
+		r.Leaks.FDsBefore, r.Leaks.FDsAfter,
+		r.Leaks.HeapGrowthBytes, r.Leaks.HeapBudgetBytes, leak)
+	if r.Pass {
+		b.WriteString("result: PASS\n")
+	} else {
+		b.WriteString("result: FAIL\n")
+	}
+	return b.String()
+}

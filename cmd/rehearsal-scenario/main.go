@@ -1,0 +1,73 @@
+// Command rehearsal-scenario replays declarative YAML scenarios against
+// an in-process rehearsal surface (CLI code path, daemon, or cluster) and
+// reports expected-vs-actual, or records a live run into a replayable
+// scenario file.
+//
+//	rehearsal-scenario scenarios/*.yaml          replay, print summaries
+//	rehearsal-scenario -record skeleton.yaml     run + pin observations
+//	rehearsal-scenario -record -o s.yaml sk.yaml ... writing the result
+//
+// Exit codes: 0 every scenario replayed green, 1 at least one mismatch,
+// 2 usage or harness error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("rehearsal-scenario", flag.ContinueOnError)
+	record := fs.Bool("record", false, "record mode: run the scenario and write it back with observed expectations pinned")
+	out := fs.String("o", "", "record mode: output file (default stdout)")
+	timeout := fs.Duration("step-timeout", 2*time.Minute, "per-step wait bound")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "rehearsal-scenario: no scenario files given")
+		fs.Usage()
+		return 2
+	}
+	if *record && len(files) != 1 {
+		fmt.Fprintln(os.Stderr, "rehearsal-scenario: -record takes exactly one scenario")
+		return 2
+	}
+
+	exit := 0
+	for _, path := range files {
+		sc, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rehearsal-scenario: %v\n", err)
+			return 2
+		}
+		res, err := scenario.Run(sc, scenario.RunOptions{Record: *record, StepTimeout: *timeout})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rehearsal-scenario: %s: %v\n", path, err)
+			return 2
+		}
+		if *record {
+			text := res.Recorded.Encode()
+			if *out == "" {
+				fmt.Print(text)
+			} else if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rehearsal-scenario: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "recorded %s (%d steps)\n", sc.Name, len(sc.Steps))
+			continue
+		}
+		fmt.Print(res.Summary())
+		if !res.OK() {
+			exit = 1
+		}
+	}
+	return exit
+}

@@ -358,23 +358,7 @@ func verifyJSON(w, ew io.Writer, path, src string, opts options) int {
 		fmt.Fprintf(ew, "rehearsal: %v\n", err)
 		return 4
 	}
-	return exitFromReport(rep)
-}
-
-// exitFromReport maps a JSON report to the CLI's exit-code classes.
-func exitFromReport(rep *service.Report) int {
-	if rep.Error != nil {
-		switch rep.Error.Class {
-		case service.ClassTimeout, service.ClassCanceled:
-			return 3
-		case service.ClassInfra:
-			return 4
-		}
-	}
-	if rep.Verdict == service.VerdictPass {
-		return 0
-	}
-	return 1
+	return service.ExitCode(rep)
 }
 
 // verifyOne loads and verifies the manifest under one option set,

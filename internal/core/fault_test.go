@@ -13,37 +13,16 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"reflect"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/fs"
+	"repro/internal/leakcheck"
 	"repro/internal/pkgdb"
 	"repro/internal/qcache"
 )
-
-// waitGoroutines fails the test if the goroutine count does not settle
-// back to (roughly) base. HTTP keep-alive reapers and test-server
-// machinery wind down asynchronously, so the check polls with a deadline
-// and a small slack.
-func waitGoroutines(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= base+3 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			m := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: %d, started with %d\n%s", n, base, buf[:m])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
 
 // faultClient serves cat over real HTTP behind a fault-injecting
 // transport and returns a hardened client with a fast, test-sized retry
@@ -104,7 +83,7 @@ func TestFaultsBeyondBudgetFailFast(t *testing.T) {
 	manifest, provider := parallelWorkload(2)
 	cat := provider.(*pkgdb.Catalog)
 	client := faultClient(t, cat, faults.Config{Seed: 42, Burst: 1 << 20}, 2)
-	base := runtime.NumGoroutine()
+	base := leakcheck.Take()
 
 	opts := DefaultOptions()
 	opts.Provider = client
@@ -118,7 +97,7 @@ func TestFaultsBeyondBudgetFailFast(t *testing.T) {
 	if !IsInfraError(err) {
 		t.Fatalf("IsInfraError(%v) = false", err)
 	}
-	waitGoroutines(t, base)
+	leakcheck.Assert(t, base)
 }
 
 // TestWorkerPanicIsolation: a panic inside a solver worker is recovered on
@@ -128,7 +107,7 @@ func TestWorkerPanicIsolation(t *testing.T) {
 	manifest, provider := parallelWorkload(4)
 	for _, workers := range []int{1, 8} {
 		solveTestHook = func(e1, e2 fs.Expr) { panic("injected solver crash") }
-		base := runtime.NumGoroutine()
+		base := leakcheck.Take()
 
 		opts := DefaultOptions()
 		opts.Provider = provider
@@ -156,7 +135,7 @@ func TestWorkerPanicIsolation(t *testing.T) {
 		if !IsInfraError(err) {
 			t.Errorf("workers=%d: IsInfraError = false for a worker panic", workers)
 		}
-		waitGoroutines(t, base)
+		leakcheck.Assert(t, base)
 	}
 }
 
@@ -178,7 +157,7 @@ func TestCancellationStopsCheck(t *testing.T) {
 		<-started
 		cancel()
 	}()
-	base := runtime.NumGoroutine()
+	base := leakcheck.Take()
 
 	opts := DefaultOptions()
 	opts.Provider = provider
@@ -197,7 +176,7 @@ func TestCancellationStopsCheck(t *testing.T) {
 	if !errors.Is(err, ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
-	waitGoroutines(t, base)
+	leakcheck.Assert(t, base)
 }
 
 // TestCancellationBeforeStart: a context canceled before the check begins

@@ -1,0 +1,74 @@
+package scenario
+
+// The committed corpus under scenarios/ is the repo's end-to-end
+// robustness contract: every file must replay green, twice, with
+// byte-identical expected-vs-actual summaries, without leaking a
+// goroutine or descriptor. CI runs this under -race.
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("corpus too small: %d scenarios, want the fault-injection, warm-cache, drain and cluster smokes at least", len(files))
+	}
+	sort.Strings(files)
+	return files
+}
+
+func TestCorpusReplaysGreenAndDeterministic(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			base := leakcheck.Take()
+			sc, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := Run(sc, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !first.OK() {
+				t.Fatalf("replay failed:\n%s", first.Summary())
+			}
+			second, err := Run(sc, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Summary() != second.Summary() {
+				t.Fatalf("replays not byte-identical:\n--- first ---\n%s\n--- second ---\n%s",
+					first.Summary(), second.Summary())
+			}
+			leakcheck.AssertOpts(t, base, leakcheck.Opts{Timeout: 10e9})
+		})
+	}
+}
+
+// The corpus must stay inside the subset Encode emits: a normalization
+// round-trip through the writer must not change what replaying sees.
+func TestCorpusEncodeRoundTrips(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		sc, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		back, err := Parse(sc.Encode())
+		if err != nil {
+			t.Fatalf("%s: writer output does not parse: %v", path, err)
+		}
+		if back.Encode() != sc.Encode() {
+			t.Fatalf("%s: encode is not a fixed point", path)
+		}
+	}
+}

@@ -1,0 +1,726 @@
+package scenario
+
+// engine.go — the deterministic replayer. A Run boots the mode's surface
+// fresh (CLI code path, one daemon, or an n-node fleet), pointed at a
+// chaos package server whose fault plan and call counter are reset with
+// it, then walks the steps sequentially. Determinism is by construction:
+// fresh servers give stable job IDs, the burst-mode fault schedule is a
+// pure function of per-path request counts, keep-alives to the package
+// server are disabled so net/http cannot consume plan decisions by
+// transparently replaying on a dead connection, and the solver pools are
+// reset so warm state from a previous run cannot change query counts.
+// Replaying a scenario twice therefore yields byte-identical summaries —
+// which corpus_test enforces for every committed scenario.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/pkgdb"
+	"repro/internal/service"
+)
+
+// RunOptions tunes a replay.
+type RunOptions struct {
+	// Record overwrites each step's checked expectations with what was
+	// observed; the updated scenario is in Result.Recorded.
+	Record bool
+	// StepTimeout bounds one step's wait; 0 means 120s.
+	StepTimeout time.Duration
+}
+
+// Result is the outcome of one replay.
+type Result struct {
+	Scenario string
+	Mode     string
+	Steps    []StepResult
+	// Recorded is the scenario with observed outcomes filled in; set only
+	// under RunOptions.Record.
+	Recorded *Scenario
+}
+
+// StepResult is one step's expected-vs-actual outcome. Checked holds the
+// "field: expected vs observed" lines for every expectation the step
+// declares (equal or not); Problems holds only the mismatches.
+type StepResult struct {
+	Name     string
+	Action   string
+	Checked  []string
+	Problems []string
+}
+
+// OK reports whether every step matched its expectations.
+func (r *Result) OK() bool {
+	for _, s := range r.Steps {
+		if len(s.Problems) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the deterministic expected-vs-actual report. It
+// contains no timings, durations or addresses, so two replays of the
+// same scenario produce byte-identical summaries.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s (mode %s): %d steps\n", r.Scenario, r.Mode, len(r.Steps))
+	for i, s := range r.Steps {
+		verdict := "ok"
+		if len(s.Problems) > 0 {
+			verdict = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "step %d %s (%s): %s\n", i+1, s.Name, s.Action, verdict)
+		for _, c := range s.Checked {
+			fmt.Fprintf(&b, "  %s\n", c)
+		}
+		for _, p := range s.Problems {
+			fmt.Fprintf(&b, "  FAIL %s\n", p)
+		}
+	}
+	if r.OK() {
+		b.WriteString("result: PASS\n")
+	} else {
+		b.WriteString("result: FAIL\n")
+	}
+	return b.String()
+}
+
+// Run replays a scenario and returns its expected-vs-actual result. The
+// returned error covers harness failures (bad scenario, unreachable
+// server); expectation mismatches land in the Result, not the error.
+func Run(sc *Scenario, opts RunOptions) (*Result, error) {
+	if opts.StepTimeout <= 0 {
+		opts.StepTimeout = 120 * time.Second
+	}
+	core.ResetSolverPools()
+	env, err := newEnv(sc)
+	if err != nil {
+		return nil, err
+	}
+	defer env.close()
+
+	res := &Result{Scenario: sc.Name, Mode: sc.Mode}
+	var recorded *Scenario
+	if opts.Record {
+		cp := *sc
+		cp.Steps = append([]Step(nil), sc.Steps...)
+		recorded = &cp
+	}
+	for i := range sc.Steps {
+		st := sc.Steps[i]
+		sr, obs, err := env.runStep(&st, opts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s, step %s: %w", sc.Name, st.Name, err)
+		}
+		res.Steps = append(res.Steps, sr)
+		if recorded != nil {
+			recorded.Steps[i].Expect = obs
+		}
+	}
+	res.Recorded = recorded
+	return res, nil
+}
+
+// --- environment -----------------------------------------------------
+
+// env is one booted scenario surface.
+type env struct {
+	sc     *Scenario
+	calls  atomic.Int64
+	pkgsrv *httptest.Server
+	client *pkgdb.Client
+
+	// daemon / cluster
+	svcs    []*service.Server
+	ts      []*httptest.Server
+	drained []bool
+
+	// cli
+	cliOpts core.Options
+
+	// step state
+	jobs map[string]submitted // step name -> job handle
+}
+
+type submitted struct {
+	id   string
+	node int
+}
+
+// hostRewriteTransport maps stable advertise hosts (node0.cluster, ...)
+// onto the per-run listeners, so cluster ring ownership is deterministic
+// across runs — the same trick the cluster tests use.
+type hostRewriteTransport struct{ hosts map[string]string }
+
+func (rt hostRewriteTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if real, ok := rt.hosts[req.URL.Host]; ok {
+		clone := req.Clone(req.Context())
+		clone.URL.Host = real
+		clone.URL.Scheme = "http"
+		return http.DefaultTransport.RoundTrip(clone)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// lateHandler gives each cluster listener a URL before the service behind
+// it exists (nodes need every member's URL at construction).
+type lateHandler struct{ h atomic.Pointer[http.Handler] }
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := l.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+func newEnv(sc *Scenario) (*env, error) {
+	e := &env{sc: sc, jobs: map[string]submitted{}}
+
+	// The chaos package server: catalog behind the fault middleware,
+	// behind the call counter (so faulted calls count — they are exactly
+	// the retries the call bounds exist to budget).
+	var h http.Handler = pkgdb.Handler(pkgdb.DefaultCatalog())
+	if sc.Faults != "" {
+		cfg, err := faults.ParseSpec(sc.Faults)
+		if err != nil {
+			return nil, err
+		}
+		h = faults.Middleware(faults.NewPlan(cfg), h)
+	}
+	inner := h
+	e.pkgsrv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		e.calls.Add(1)
+		inner.ServeHTTP(w, r)
+	}))
+	e.client = pkgdb.NewClientConfig(e.pkgsrv.URL, pkgdb.ClientConfig{
+		HTTPClient:   &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		Attempts:     sc.Attempts,
+		RetryBackoff: time.Millisecond,
+		MaxBackoff:   5 * time.Millisecond,
+	})
+
+	switch sc.Mode {
+	case ModeCLI:
+		opts := core.DefaultOptions()
+		opts.Provider = e.client
+		e.cliOpts = opts
+		return e, nil
+	case ModeDaemon:
+		sub, err := core.NewSubstrate(core.SubstrateConfig{Provider: e.client})
+		if err != nil {
+			e.pkgsrv.Close()
+			return nil, err
+		}
+		svc, err := service.New(service.Config{
+			Workers:    sc.workers(),
+			QueueDepth: sc.QueueDepth,
+			Substrate:  sub,
+		})
+		if err != nil {
+			e.pkgsrv.Close()
+			return nil, err
+		}
+		e.svcs = []*service.Server{svc}
+		e.ts = []*httptest.Server{httptest.NewServer(svc.Handler())}
+		e.drained = []bool{false}
+		return e, nil
+	case ModeCluster:
+		n := sc.nodes()
+		e.svcs = make([]*service.Server, n)
+		e.ts = make([]*httptest.Server, n)
+		e.drained = make([]bool, n)
+		late := make([]*lateHandler, n)
+		hosts := make(map[string]string, n)
+		advertise := make([]string, n)
+		for i := 0; i < n; i++ {
+			late[i] = &lateHandler{}
+			e.ts[i] = httptest.NewServer(late[i])
+			advertise[i] = fmt.Sprintf("http://node%d.cluster", i)
+			hosts[fmt.Sprintf("node%d.cluster", i)] = strings.TrimPrefix(e.ts[i].URL, "http://")
+		}
+		peerClient := &http.Client{
+			Timeout:   5 * time.Second,
+			Transport: hostRewriteTransport{hosts: hosts},
+		}
+		for i := 0; i < n; i++ {
+			node := cluster.NewNode(advertise[i], advertise)
+			node.SetHTTPClient(peerClient)
+			sub, err := core.NewSubstrate(core.SubstrateConfig{
+				Provider:   e.client,
+				RemoteTier: node.Tier(),
+			})
+			if err != nil {
+				e.close()
+				return nil, err
+			}
+			svc, err := service.New(service.Config{
+				Workers:    sc.workers(),
+				QueueDepth: sc.QueueDepth,
+				Substrate:  sub,
+				Cluster:    node,
+			})
+			if err != nil {
+				e.close()
+				return nil, err
+			}
+			handler := svc.Handler()
+			late[i].h.Store(&handler)
+			e.svcs[i] = svc
+		}
+		return e, nil
+	default:
+		e.pkgsrv.Close()
+		return nil, fmt.Errorf("unknown mode %q", sc.Mode)
+	}
+}
+
+func (e *env) close() {
+	for i, svc := range e.svcs {
+		if e.ts[i] != nil {
+			e.ts[i].Close()
+		}
+		if svc != nil && !e.drained[i] {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			_ = svc.Shutdown(ctx)
+			cancel()
+		}
+	}
+	if e.pkgsrv != nil {
+		e.pkgsrv.Close()
+	}
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// --- step execution --------------------------------------------------
+
+// observation is everything a step actually observed, in Expect shape.
+type observation = Expect
+
+func (e *env) runStep(st *Step, opts RunOptions) (StepResult, observation, error) {
+	callsBefore := e.calls.Load()
+	var metricsBefore map[string]int64
+	if len(st.Expect.Metrics) > 0 && e.sc.Mode != ModeCLI {
+		m, err := e.scrapeMetrics(st.Node)
+		if err != nil {
+			return StepResult{}, observation{}, err
+		}
+		metricsBefore = m
+	}
+
+	var obs observation
+	var err error
+	switch st.Action {
+	case ActionSubmit:
+		obs, err = e.doSubmit(st, opts)
+	case ActionAwait:
+		obs, err = e.doAwait(st, opts)
+	case ActionCancel:
+		obs, err = e.doCancel(st)
+	case ActionDrain:
+		obs, err = e.doDrain(st)
+	}
+	if err != nil {
+		return StepResult{}, observation{}, err
+	}
+
+	// Per-step call and metric deltas close the observation window.
+	delta := int(e.calls.Load() - callsBefore)
+	if st.Expect.Calls != nil || opts.Record {
+		obs.Calls = &CallBounds{Min: delta, Max: delta}
+	}
+	if len(st.Expect.Metrics) > 0 && e.sc.Mode != ModeCLI {
+		after, err := e.scrapeMetrics(st.Node)
+		if err != nil {
+			return StepResult{}, observation{}, err
+		}
+		obs.Metrics = map[string]int64{}
+		for name := range st.Expect.Metrics {
+			obs.Metrics[name] = after[name] - metricsBefore[name]
+		}
+	}
+
+	sr := StepResult{Name: st.Name, Action: st.Action}
+	compare(&sr, &st.Expect, &obs)
+	if opts.Record {
+		return sr, recordExpect(&st.Expect, &obs), nil
+	}
+	return sr, obs, nil
+}
+
+// recordExpect distills an observation into the expectations a recorded
+// scenario pins: the step's primary observables always (status, exit
+// code, state, verdict, error class, exact call count), boolean flags
+// when declared or observed true, and refreshed values for the report
+// paths and metric names the author already listed. Authors widen the
+// recorded exact call bounds by hand where retries may legitimately vary.
+func recordExpect(declared *Expect, obs *observation) Expect {
+	rec := Expect{
+		Status:     obs.Status,
+		ExitCode:   obs.ExitCode,
+		State:      obs.State,
+		Verdict:    obs.Verdict,
+		ErrorClass: obs.ErrorClass,
+		Calls:      obs.Calls,
+	}
+	if declared.Deduped != nil || (obs.Deduped != nil && *obs.Deduped) {
+		rec.Deduped = obs.Deduped
+	}
+	if declared.RetryAfter != nil || (obs.RetryAfter != nil && *obs.RetryAfter) {
+		rec.RetryAfter = obs.RetryAfter
+	}
+	if len(declared.Report) > 0 {
+		rec.Report = map[string]string{}
+		for path := range declared.Report {
+			rec.Report[path] = obs.Report[path]
+		}
+	}
+	if len(declared.Metrics) > 0 {
+		rec.Metrics = obs.Metrics
+	}
+	return rec
+}
+
+// compare walks the declared expectations; every check lands in
+// sr.Checked, mismatches additionally in sr.Problems.
+func compare(sr *StepResult, want *Expect, got *observation) {
+	check := func(field string, ok bool, wantV, gotV string) {
+		line := fmt.Sprintf("%s: want %s, got %s", field, wantV, gotV)
+		sr.Checked = append(sr.Checked, line)
+		if !ok {
+			sr.Problems = append(sr.Problems, line)
+		}
+	}
+	if want.Status != 0 {
+		check("status", got.Status == want.Status, strconv.Itoa(want.Status), strconv.Itoa(got.Status))
+	}
+	if want.ExitCode != nil {
+		gotV := "none"
+		ok := false
+		if got.ExitCode != nil {
+			gotV = strconv.Itoa(*got.ExitCode)
+			ok = *got.ExitCode == *want.ExitCode
+		}
+		check("exit_code", ok, strconv.Itoa(*want.ExitCode), gotV)
+	}
+	if want.State != "" {
+		check("state", got.State == want.State, want.State, orNone(got.State))
+	}
+	if want.Verdict != "" {
+		check("verdict", got.Verdict == want.Verdict, want.Verdict, orNone(got.Verdict))
+	}
+	if want.ErrorClass != "" {
+		check("error_class", got.ErrorClass == want.ErrorClass, want.ErrorClass, orNone(got.ErrorClass))
+	}
+	if want.Deduped != nil {
+		gotV := false
+		if got.Deduped != nil {
+			gotV = *got.Deduped
+		}
+		check("deduped", gotV == *want.Deduped, strconv.FormatBool(*want.Deduped), strconv.FormatBool(gotV))
+	}
+	if want.RetryAfter != nil {
+		gotV := false
+		if got.RetryAfter != nil {
+			gotV = *got.RetryAfter
+		}
+		check("retry_after", gotV == *want.RetryAfter, strconv.FormatBool(*want.RetryAfter), strconv.FormatBool(gotV))
+	}
+	for _, path := range sortedKeys(want.Report) {
+		gotV := got.Report[path]
+		check("report."+path, gotV == want.Report[path], want.Report[path], orNone(gotV))
+	}
+	for _, name := range sortedKeys(want.Metrics) {
+		gotV := got.Metrics[name]
+		check("metrics."+name, gotV == want.Metrics[name],
+			strconv.FormatInt(want.Metrics[name], 10), strconv.FormatInt(gotV, 10))
+	}
+	if want.Calls != nil {
+		gotN := 0
+		if got.Calls != nil {
+			gotN = got.Calls.Min
+		}
+		ok := gotN >= want.Calls.Min && (want.Calls.Max < 0 || gotN <= want.Calls.Max)
+		wantV := fmt.Sprintf("[%d,%d]", want.Calls.Min, want.Calls.Max)
+		if want.Calls.Max < 0 {
+			wantV = fmt.Sprintf("[%d,∞)", want.Calls.Min)
+		}
+		check("calls", ok, wantV, strconv.Itoa(gotN))
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// --- actions ---------------------------------------------------------
+
+func (e *env) doSubmit(st *Step, opts RunOptions) (observation, error) {
+	src, err := e.sc.manifestSource(st)
+	if err != nil {
+		return observation{}, err
+	}
+	checks := st.Checks
+	if checks == nil {
+		checks = e.sc.Checks
+	}
+	req := service.JobRequest{
+		Manifest:        src,
+		Platform:        st.Platform,
+		Checks:          checks,
+		Invariant:       st.Invariant,
+		SemanticCommute: st.Semantic,
+	}
+	if st.Base != "" {
+		req.Base = e.jobs[st.Base].id
+	}
+
+	if e.sc.Mode == ModeCLI {
+		return e.cliVerify(req)
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return observation{}, err
+	}
+	resp, err := http.Post(e.ts[st.Node].URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return observation{}, err
+	}
+	defer resp.Body.Close()
+
+	var obs observation
+	obs.Status = resp.StatusCode
+	retry := resp.Header.Get("Retry-After") != ""
+	obs.RetryAfter = &retry
+	if resp.StatusCode != http.StatusAccepted {
+		return obs, nil
+	}
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return observation{}, err
+	}
+	obs.Deduped = &view.Deduped
+	e.jobs[st.Name] = submitted{id: view.ID, node: st.Node}
+	if st.Wait {
+		final, err := e.waitTerminal(st.Node, view.ID, opts.StepTimeout)
+		if err != nil {
+			return observation{}, err
+		}
+		e.observeView(&obs, &final)
+	}
+	return obs, nil
+}
+
+// cliVerify drives the same entry points as `rehearsal -json`:
+// BuildReport and the shared exit-code mapping, against the chaos-backed
+// provider.
+func (e *env) cliVerify(req service.JobRequest) (observation, error) {
+	req = req.Normalize()
+	var obs observation
+	if err := req.Validate(); err != nil {
+		code := 2
+		obs.ExitCode = &code
+		return obs, nil
+	}
+	rep := service.BuildReport(req, req.ApplyTo(e.cliOpts))
+	code := service.ExitCode(rep)
+	obs.ExitCode = &code
+	obs.Verdict = rep.Verdict
+	if rep.Error != nil {
+		obs.ErrorClass = rep.Error.Class
+	}
+	obs.Report = reportValues(rep)
+	return obs, nil
+}
+
+func (e *env) doAwait(st *Step, opts RunOptions) (observation, error) {
+	job := e.jobs[st.Job]
+	view, err := e.waitTerminal(st.Node, job.id, opts.StepTimeout)
+	if err != nil {
+		return observation{}, err
+	}
+	var obs observation
+	obs.Status = http.StatusOK
+	e.observeView(&obs, &view)
+	return obs, nil
+}
+
+func (e *env) doCancel(st *Step) (observation, error) {
+	job := e.jobs[st.Job]
+	req, err := http.NewRequest(http.MethodDelete, e.ts[st.Node].URL+"/v1/jobs/"+job.id, nil)
+	if err != nil {
+		return observation{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return observation{}, err
+	}
+	defer resp.Body.Close()
+	var obs observation
+	obs.Status = resp.StatusCode
+	if resp.StatusCode == http.StatusOK {
+		var view service.JobView
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return observation{}, err
+		}
+		e.observeView(&obs, &view)
+	}
+	return obs, nil
+}
+
+func (e *env) doDrain(st *Step) (observation, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.svcs[st.Node].Shutdown(ctx); err != nil {
+		return observation{}, err
+	}
+	e.drained[st.Node] = true
+	return observation{}, nil
+}
+
+// observeView copies a terminal job view into the observation, with the
+// report flattened so expectations can address any field by dot-path.
+func (e *env) observeView(obs *observation, view *service.JobView) {
+	obs.State = string(view.State)
+	if view.Report != nil {
+		obs.Verdict = view.Report.Verdict
+		obs.Report = reportValues(view.Report)
+	}
+	if view.Reason != nil {
+		obs.ErrorClass = view.Reason.Class
+	} else if view.Report != nil && view.Report.Error != nil {
+		obs.ErrorClass = view.Report.Error.Class
+	}
+}
+
+func (e *env) waitTerminal(node int, id string, timeout time.Duration) (service.JobView, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		view, status, err := e.getJob(node, id)
+		if err != nil {
+			return service.JobView{}, err
+		}
+		if status == http.StatusOK && view.State.Terminal() {
+			return view, nil
+		}
+		if time.Now().After(deadline) {
+			return service.JobView{}, fmt.Errorf("job %s not terminal after %v (state %s)", id, timeout, view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (e *env) getJob(node int, id string) (service.JobView, int, error) {
+	resp, err := http.Get(e.ts[node].URL + "/v1/jobs/" + id)
+	if err != nil {
+		return service.JobView{}, 0, err
+	}
+	defer resp.Body.Close()
+	var view service.JobView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return service.JobView{}, 0, err
+		}
+	}
+	return view, resp.StatusCode, nil
+}
+
+func (e *env) scrapeMetrics(node int) (map[string]int64, error) {
+	resp, err := http.Get(e.ts[node].URL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return parseMetrics(string(body)), nil
+}
+
+// parseMetrics reads integer-valued series from a Prometheus text
+// exposition; non-integer samples (histogram quantiles) are skipped —
+// scenario metric deltas are about counters.
+func parseMetrics(scrape string) map[string]int64 {
+	out := map[string]int64{}
+	for _, line := range strings.Split(scrape, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = n
+	}
+	return out
+}
+
+// reportValues flattens a report's JSON document into dot-path -> string,
+// so expectations can address any field ("determinism.ok",
+// "error.class", "stats.solver_queries"). Timing fields still exist as
+// paths, but a scenario that pins one fails its own determinism test.
+func reportValues(rep *service.Report) map[string]string {
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return nil
+	}
+	var tree any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		return nil
+	}
+	out := map[string]string{}
+	flatten("", tree, out)
+	return out
+}
+
+func flatten(prefix string, v any, out map[string]string) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, t[k], out)
+		}
+	case []any:
+		for i, it := range t {
+			flatten(fmt.Sprintf("%s.%d", prefix, i), it, out)
+		}
+	case float64:
+		out[prefix] = strconv.FormatFloat(t, 'g', -1, 64)
+	case bool:
+		out[prefix] = strconv.FormatBool(t)
+	case string:
+		out[prefix] = t
+	case nil:
+		out[prefix] = "null"
+	}
+}

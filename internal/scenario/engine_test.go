@@ -1,0 +1,250 @@
+package scenario
+
+// Engine tests: scenarios must replay deterministically (byte-identical
+// summaries), detect mismatches rather than paper over them, record live
+// runs into replayable files, and leak nothing — every Run boots and
+// tears down real HTTP servers, so each test is also a leak test.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+const daemonScenario = `
+name: engine-daemon
+mode: daemon
+workers: 2
+steps:
+  - name: verify ok manifest
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present }
+      file {'/etc/ntp.conf': content => 'server pool.ntp.org', require => Package['ntp'] }
+    expect:
+      status: 202
+      state: done
+      verdict: pass
+      report:
+        determinism.ok: "true"
+      metrics:
+        rehearsald_jobs_submitted_total: 1
+        rehearsald_jobs_done_total: 1
+      calls:
+        min: 1
+  - name: resubmit dedups
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present }
+      file {'/etc/ntp.conf': content => 'server pool.ntp.org', require => Package['ntp'] }
+    expect:
+      status: 202
+      state: done
+      deduped: true
+      calls:
+        min: 0
+        max: 0
+  - name: drain
+    action: drain
+  - name: rejected while draining
+    action: submit
+    manifest: |
+      package {'git': ensure => present }
+    expect:
+      status: 503
+      retry_after: true
+      metrics:
+        rehearsald_drain_rejects_total: 1
+`
+
+func mustParse(t *testing.T, src string) *Scenario {
+	t.Helper()
+	sc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestEngineDaemonScenario(t *testing.T) {
+	base := leakcheck.Take()
+	sc := mustParse(t, daemonScenario)
+	res, err := Run(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("scenario failed:\n%s", res.Summary())
+	}
+	leakcheck.Assert(t, base)
+}
+
+// Replaying the same scenario twice must yield byte-identical summaries —
+// the property the committed corpus depends on.
+func TestEngineReplayDeterministic(t *testing.T) {
+	sc := mustParse(t, daemonScenario)
+	first, err := Run(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Summary() != second.Summary() {
+		t.Fatalf("summaries differ between replays:\n--- first ---\n%s\n--- second ---\n%s",
+			first.Summary(), second.Summary())
+	}
+}
+
+func TestEngineDetectsMismatch(t *testing.T) {
+	sc := mustParse(t, `
+name: engine-mismatch
+mode: daemon
+steps:
+  - name: wrong verdict pinned
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present }
+    expect:
+      verdict: fail
+`)
+	res, err := Run(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatalf("mismatch not detected:\n%s", res.Summary())
+	}
+	if !strings.Contains(res.Summary(), "FAIL verdict: want fail, got pass") {
+		t.Fatalf("summary should name the mismatch:\n%s", res.Summary())
+	}
+}
+
+func TestEngineCLIMode(t *testing.T) {
+	base := leakcheck.Take()
+	sc := mustParse(t, `
+name: engine-cli
+mode: cli
+steps:
+  - name: clean manifest exits 0
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present }
+      file {'/etc/ntp.conf': content => 'server pool.ntp.org', require => Package['ntp'] }
+    expect:
+      exit_code: 0
+      verdict: pass
+  - name: nondeterministic manifest exits 1
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present }
+      file {'/etc/ntp.conf': content => 'server pool.ntp.org' }
+    expect:
+      exit_code: 1
+      verdict: fail
+      report:
+        determinism.ok: "false"
+  - name: dependency cycle exits 1 with manifest class
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present, require => Package['git'] }
+      package {'git': ensure => present, require => Package['ntp'] }
+    expect:
+      exit_code: 1
+      verdict: fail
+      error_class: manifest
+`)
+	res, err := Run(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("cli scenario failed:\n%s", res.Summary())
+	}
+	leakcheck.Assert(t, base)
+}
+
+// Chaos within the retry budget: the job still passes, and the call
+// counter shows the faults actually fired (more calls than fault-free).
+func TestEngineFaultsWithinBudget(t *testing.T) {
+	sc := mustParse(t, `
+name: engine-faults
+mode: daemon
+attempts: 4
+faults: seed=42,burst=2,kinds=status+reset+truncate+corrupt
+steps:
+  - name: verify under chaos
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present }
+      file {'/etc/ntp.conf': content => 'server pool.ntp.org', require => Package['ntp'] }
+    expect:
+      status: 202
+      state: done
+      verdict: pass
+      calls:
+        min: 3
+`)
+	res, err := Run(sc, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("chaos scenario failed:\n%s", res.Summary())
+	}
+}
+
+// Record mode: run an expectation-free scenario, write what happened,
+// and the recorded file must parse and replay green — twice, with
+// byte-identical summaries.
+func TestEngineRecordThenReplay(t *testing.T) {
+	sc := mustParse(t, `
+name: engine-record
+mode: daemon
+steps:
+  - name: first sight
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present }
+      file {'/etc/ntp.conf': content => 'server pool.ntp.org', require => Package['ntp'] }
+  - name: warm resubmit
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present }
+      file {'/etc/ntp.conf': content => 'server pool.ntp.org', require => Package['ntp'] }
+`)
+	rec, err := Run(sc, RunOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Recorded == nil {
+		t.Fatal("record mode returned no scenario")
+	}
+	text := rec.Recorded.Encode()
+	replayable, err := Parse(text)
+	if err != nil {
+		t.Fatalf("recorded scenario does not parse: %v\n%s", err, text)
+	}
+	if e := replayable.Steps[0].Expect; e.Status != 202 || e.State != "done" || e.Verdict != "pass" || e.Calls == nil {
+		t.Fatalf("recorded expectations incomplete: %+v\n%s", e, text)
+	}
+	if e := replayable.Steps[1].Expect; e.Deduped == nil || !*e.Deduped || e.Calls == nil || e.Calls.Max != 0 {
+		t.Fatalf("recorded dedup step should pin deduped + zero calls: %+v\n%s", e, text)
+	}
+	one, err := Run(replayable, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.OK() {
+		t.Fatalf("recorded scenario does not replay green:\n%s", one.Summary())
+	}
+	two, err := Run(replayable, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Summary() != two.Summary() {
+		t.Fatalf("recorded replays differ:\n%s\nvs\n%s", one.Summary(), two.Summary())
+	}
+}

@@ -1,0 +1,586 @@
+package scenario
+
+// Package scenario is the record/replay harness: declarative YAML
+// scenarios that drive the rehearsal CLI code path, a rehearsald daemon,
+// or a multi-node cluster end-to-end against the chaos pkgserver, and
+// check everything a black-box caller can observe — HTTP statuses, exit
+// codes, terminal job states, verdicts, JSON-report fields, Prometheus
+// metric deltas, Retry-After headers, and per-step package-server call
+// counts (the retry-loop budget). Replays are deterministic: the same
+// scenario yields byte-identical expected-vs-actual summaries on every
+// run, so the committed corpus under scenarios/ is a regression oracle,
+// not a flake source. Record mode runs a scenario and writes the observed
+// outcomes back into its expectations, turning a live run into a pinned
+// scenario file.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scenario modes: which surface the steps drive.
+const (
+	ModeCLI     = "cli"     // service.BuildReport + ExitCode, the rehearsal -json path
+	ModeDaemon  = "daemon"  // one rehearsald over HTTP
+	ModeCluster = "cluster" // an n-node consistent-hash fleet over HTTP
+)
+
+// Step actions.
+const (
+	ActionSubmit = "submit" // verify a manifest (POST /v1/jobs or CLI run)
+	ActionAwait  = "await"  // wait for an earlier submit to reach a terminal state
+	ActionCancel = "cancel" // DELETE /v1/jobs/{id} for an earlier submit
+	ActionDrain  = "drain"  // gracefully drain the daemon (daemon mode)
+)
+
+// Scenario is one replayable end-to-end script.
+type Scenario struct {
+	Name        string
+	Description string
+	Mode        string // cli | daemon | cluster
+	Nodes       int    // cluster size; 0 means 3
+	Workers     int    // scheduler workers per node; 0 means 2
+	QueueDepth  int    // 0 means the service default
+	Attempts    int    // pkgdb client attempts; 0 means the client default
+	Faults      string // faults.ParseSpec chaos spec for the pkgserver; "" = none
+	Checks      []string
+	Steps       []Step
+
+	dir string // directory of the source file, for manifest_file
+}
+
+// Step is one scripted interaction.
+type Step struct {
+	Name         string
+	Action       string
+	Manifest     string // inline manifest source (literal block in YAML)
+	ManifestFile string // or a file path relative to the scenario file
+	Base         string // name of an earlier submit step (differential base)
+	Checks       []string
+	Invariant    string
+	Semantic     bool
+	Platform     string
+	Node         int    // cluster mode: which node receives the request
+	Wait         bool   // submit: wait for a terminal state before the next step
+	Job          string // await/cancel: name of the earlier submit step
+	Expect       Expect
+}
+
+// Expect pins what a step must observe; zero-valued fields are unchecked.
+// Record mode overwrites the checked fields with what actually happened.
+type Expect struct {
+	Status     int               // HTTP status (daemon/cluster modes)
+	ExitCode   *int              // CLI exit code (cli mode)
+	State      string            // terminal job state (waited submits, await, cancel)
+	Verdict    string            // report verdict
+	ErrorClass string            // report error class (timeout/canceled/infra/manifest)
+	Deduped    *bool             // submission coalesced onto existing work
+	RetryAfter *bool             // Retry-After header present on the response
+	Report     map[string]string // JSON-report dot-path -> expected value
+	Metrics    map[string]int64  // metric name -> exact delta across the step
+	Calls      *CallBounds       // pkgserver HTTP calls during the step
+}
+
+// CallBounds bounds the package-server calls a step may make: retries
+// under chaos push the count up, caches pull it down to zero, and both
+// are part of the contract being replayed. Max < 0 (an omitted `max` key)
+// means unbounded above; `min: 0, max: 0` pins a warm round to exactly
+// zero provider calls.
+type CallBounds struct {
+	Min int
+	Max int
+}
+
+// Load reads and decodes a scenario file.
+func Load(path string) (*Scenario, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := Parse(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sc.dir = filepath.Dir(path)
+	return sc, nil
+}
+
+// Parse decodes scenario YAML.
+func Parse(src string) (*Scenario, error) {
+	tree, err := parseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	root, ok := tree.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("scenario: top level must be a mapping")
+	}
+	d := &decoder{}
+	sc := &Scenario{
+		Name:        d.str(root, "name"),
+		Description: d.str(root, "description"),
+		Mode:        d.str(root, "mode"),
+		Nodes:       d.num(root, "nodes"),
+		Workers:     d.num(root, "workers"),
+		QueueDepth:  d.num(root, "queue_depth"),
+		Attempts:    d.num(root, "attempts"),
+		Faults:      d.str(root, "faults"),
+	}
+	if cs, ok := root["checks"]; ok {
+		sc.Checks = d.strList(cs, "checks")
+	}
+	for _, it := range d.list(root, "steps") {
+		m, ok := it.(map[string]any)
+		if !ok {
+			d.errf("steps: every step must be a mapping")
+			continue
+		}
+		sc.Steps = append(sc.Steps, d.step(m))
+	}
+	d.checkKeys(root, "scenario", "name", "description", "mode", "nodes",
+		"workers", "queue_depth", "attempts", "faults", "checks", "steps")
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return sc, sc.validate()
+}
+
+func (sc *Scenario) validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	switch sc.Mode {
+	case ModeCLI, ModeDaemon, ModeCluster:
+	default:
+		return fmt.Errorf("scenario %s: mode must be cli, daemon or cluster (got %q)", sc.Name, sc.Mode)
+	}
+	if len(sc.Steps) == 0 {
+		return fmt.Errorf("scenario %s: no steps", sc.Name)
+	}
+	submits := map[string]bool{}
+	for i := range sc.Steps {
+		st := &sc.Steps[i]
+		if st.Name == "" {
+			st.Name = fmt.Sprintf("step-%d", i+1)
+		}
+		switch st.Action {
+		case ActionSubmit:
+			if st.Manifest == "" && st.ManifestFile == "" {
+				return fmt.Errorf("scenario %s, step %s: submit needs manifest or manifest_file", sc.Name, st.Name)
+			}
+			if st.Base != "" && !submits[st.Base] {
+				return fmt.Errorf("scenario %s, step %s: base %q is not an earlier submit step", sc.Name, st.Name, st.Base)
+			}
+			submits[st.Name] = true
+		case ActionAwait, ActionCancel:
+			if sc.Mode == ModeCLI {
+				return fmt.Errorf("scenario %s, step %s: %s is meaningless in cli mode", sc.Name, st.Name, st.Action)
+			}
+			if !submits[st.Job] {
+				return fmt.Errorf("scenario %s, step %s: job %q is not an earlier submit step", sc.Name, st.Name, st.Job)
+			}
+		case ActionDrain:
+			if sc.Mode == ModeCLI {
+				return fmt.Errorf("scenario %s, step %s: drain is meaningless in cli mode", sc.Name, st.Name)
+			}
+		default:
+			return fmt.Errorf("scenario %s, step %s: unknown action %q", sc.Name, st.Name, st.Action)
+		}
+		if st.Node < 0 || (sc.Mode == ModeCluster && st.Node >= sc.nodes()) {
+			return fmt.Errorf("scenario %s, step %s: node %d out of range", sc.Name, st.Name, st.Node)
+		}
+		if b := st.Expect.Calls; b != nil && b.Max >= 0 && b.Min > b.Max {
+			return fmt.Errorf("scenario %s, step %s: calls.min %d > calls.max %d", sc.Name, st.Name, b.Min, b.Max)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) nodes() int {
+	if sc.Nodes > 0 {
+		return sc.Nodes
+	}
+	return 3
+}
+
+func (sc *Scenario) workers() int {
+	if sc.Workers > 0 {
+		return sc.Workers
+	}
+	return 2
+}
+
+// manifestSource resolves a step's manifest text.
+func (sc *Scenario) manifestSource(st *Step) (string, error) {
+	if st.Manifest != "" {
+		return st.Manifest, nil
+	}
+	b, err := os.ReadFile(filepath.Join(sc.dir, filepath.FromSlash(st.ManifestFile)))
+	if err != nil {
+		return "", fmt.Errorf("step %s: %w", st.Name, err)
+	}
+	return string(b), nil
+}
+
+// --- typed decode over the generic YAML tree -------------------------
+
+type decoder struct{ errs []string }
+
+func (d *decoder) errf(format string, args ...any) {
+	d.errs = append(d.errs, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) finish() error {
+	if len(d.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("scenario: %s", strings.Join(d.errs, "; "))
+}
+
+func (d *decoder) str(m map[string]any, key string) string {
+	v, ok := m[key]
+	if !ok {
+		return ""
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.errf("%s: want a string", key)
+		return ""
+	}
+	return s
+}
+
+func (d *decoder) num(m map[string]any, key string) int {
+	s := d.str(m, key)
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		d.errf("%s: want an integer, got %q", key, s)
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) boolean(m map[string]any, key string) bool {
+	v := d.boolPtr(m, key)
+	return v != nil && *v
+}
+
+func (d *decoder) boolPtr(m map[string]any, key string) *bool {
+	s, ok := m[key].(string)
+	if !ok {
+		if _, present := m[key]; present {
+			d.errf("%s: want true or false", key)
+		}
+		return nil
+	}
+	switch s {
+	case "true":
+		v := true
+		return &v
+	case "false":
+		v := false
+		return &v
+	}
+	d.errf("%s: want true or false, got %q", key, s)
+	return nil
+}
+
+func (d *decoder) list(m map[string]any, key string) []any {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	l, ok := v.([]any)
+	if !ok {
+		d.errf("%s: want a sequence", key)
+		return nil
+	}
+	return l
+}
+
+func (d *decoder) strList(v any, key string) []string {
+	l, ok := v.([]any)
+	if !ok {
+		d.errf("%s: want a sequence of strings", key)
+		return nil
+	}
+	out := make([]string, 0, len(l))
+	for _, it := range l {
+		s, ok := it.(string)
+		if !ok {
+			d.errf("%s: want a sequence of strings", key)
+			return nil
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func (d *decoder) step(m map[string]any) Step {
+	st := Step{
+		Name:         d.str(m, "name"),
+		Action:       d.str(m, "action"),
+		Manifest:     d.str(m, "manifest"),
+		ManifestFile: d.str(m, "manifest_file"),
+		Base:         d.str(m, "base"),
+		Invariant:    d.str(m, "invariant"),
+		Semantic:     d.boolean(m, "semantic"),
+		Platform:     d.str(m, "platform"),
+		Node:         d.num(m, "node"),
+		Job:          d.str(m, "job"),
+		Wait:         true,
+	}
+	if cs, ok := m["checks"]; ok {
+		st.Checks = d.strList(cs, "checks")
+	}
+	if w := d.boolPtr(m, "wait"); w != nil {
+		st.Wait = *w
+	}
+	if e, ok := m["expect"]; ok {
+		em, ok := e.(map[string]any)
+		if !ok {
+			d.errf("expect: want a mapping")
+		} else {
+			st.Expect = d.expect(em)
+		}
+	}
+	d.checkKeys(m, "step", "name", "action", "manifest", "manifest_file",
+		"base", "checks", "invariant", "semantic", "platform", "node",
+		"job", "wait", "expect")
+	return st
+}
+
+func (d *decoder) expect(m map[string]any) Expect {
+	e := Expect{
+		Status:     d.num(m, "status"),
+		State:      d.str(m, "state"),
+		Verdict:    d.str(m, "verdict"),
+		ErrorClass: d.str(m, "error_class"),
+		Deduped:    d.boolPtr(m, "deduped"),
+		RetryAfter: d.boolPtr(m, "retry_after"),
+	}
+	if _, ok := m["exit_code"]; ok {
+		n := d.num(m, "exit_code")
+		e.ExitCode = &n
+	}
+	if r, ok := m["report"]; ok {
+		rm, ok := r.(map[string]any)
+		if !ok {
+			d.errf("expect.report: want a mapping")
+		} else {
+			e.Report = map[string]string{}
+			for k, v := range rm {
+				s, ok := v.(string)
+				if !ok {
+					d.errf("expect.report.%s: want a scalar", k)
+					continue
+				}
+				e.Report[k] = s
+			}
+		}
+	}
+	if mm, ok := m["metrics"]; ok {
+		tm, ok := mm.(map[string]any)
+		if !ok {
+			d.errf("expect.metrics: want a mapping")
+		} else {
+			e.Metrics = map[string]int64{}
+			for k, v := range tm {
+				s, _ := v.(string)
+				n, err := strconv.ParseInt(strings.TrimPrefix(s, "+"), 10, 64)
+				if err != nil {
+					d.errf("expect.metrics.%s: want an integer delta, got %q", k, s)
+					continue
+				}
+				e.Metrics[k] = n
+			}
+		}
+	}
+	if c, ok := m["calls"]; ok {
+		cm, ok := c.(map[string]any)
+		if !ok {
+			d.errf("expect.calls: want a mapping with min/max")
+		} else {
+			b := &CallBounds{Min: d.num(cm, "min"), Max: -1}
+			if _, hasMax := cm["max"]; hasMax {
+				b.Max = d.num(cm, "max")
+			}
+			e.Calls = b
+			d.checkKeys(cm, "expect.calls", "min", "max")
+		}
+	}
+	d.checkKeys(m, "expect", "status", "exit_code", "state", "verdict",
+		"error_class", "deduped", "retry_after", "report", "metrics", "calls")
+	return e
+}
+
+// checkKeys rejects unknown keys — a typoed expectation that silently
+// checks nothing is worse than a parse error.
+func (d *decoder) checkKeys(m map[string]any, ctx string, known ...string) {
+	allowed := map[string]bool{}
+	for _, k := range known {
+		allowed[k] = true
+	}
+	var bad []string
+	for k := range m {
+		if !allowed[k] {
+			bad = append(bad, k)
+		}
+	}
+	sort.Strings(bad)
+	for _, k := range bad {
+		d.errf("%s: unknown key %q", ctx, k)
+	}
+}
+
+// --- encode (record mode and normalization) --------------------------
+
+// Encode renders the scenario in the exact subset parseYAML accepts, with
+// deterministic field order, so recorded scenarios replay byte-for-byte.
+func (sc *Scenario) Encode() string {
+	w := &yamlWriter{}
+	w.scalar("name", sc.Name)
+	if sc.Description != "" {
+		w.scalar("description", sc.Description)
+	}
+	w.scalar("mode", sc.Mode)
+	if sc.Nodes > 0 {
+		w.scalar("nodes", strconv.Itoa(sc.Nodes))
+	}
+	if sc.Workers > 0 {
+		w.scalar("workers", strconv.Itoa(sc.Workers))
+	}
+	if sc.QueueDepth > 0 {
+		w.scalar("queue_depth", strconv.Itoa(sc.QueueDepth))
+	}
+	if sc.Attempts > 0 {
+		w.scalar("attempts", strconv.Itoa(sc.Attempts))
+	}
+	if sc.Faults != "" {
+		w.scalar("faults", sc.Faults)
+	}
+	if len(sc.Checks) > 0 {
+		w.flow("checks", sc.Checks)
+	}
+	w.line("steps:")
+	for i := range sc.Steps {
+		sc.Steps[i].encode(w)
+	}
+	return w.b.String()
+}
+
+func (st *Step) encode(w *yamlWriter) {
+	w.indent += 2
+	w.line("- name: %s", quoteIfNeeded(st.Name))
+	w.indent += 2
+	w.scalar("action", st.Action)
+	if st.ManifestFile != "" {
+		w.scalar("manifest_file", st.ManifestFile)
+	} else if st.Manifest != "" {
+		w.block("manifest", st.Manifest)
+	}
+	if st.Base != "" {
+		w.scalar("base", st.Base)
+	}
+	if len(st.Checks) > 0 {
+		w.flow("checks", st.Checks)
+	}
+	if st.Invariant != "" {
+		w.scalar("invariant", st.Invariant)
+	}
+	if st.Semantic {
+		w.scalar("semantic", "true")
+	}
+	if st.Platform != "" {
+		w.scalar("platform", st.Platform)
+	}
+	if st.Node != 0 {
+		w.scalar("node", strconv.Itoa(st.Node))
+	}
+	if st.Job != "" {
+		w.scalar("job", st.Job)
+	}
+	if !st.Wait {
+		w.scalar("wait", "false")
+	}
+	st.Expect.encode(w)
+	w.indent -= 4
+}
+
+func (e *Expect) encode(w *yamlWriter) {
+	if e.isZero() {
+		return
+	}
+	w.line("expect:")
+	w.indent += 2
+	if e.Status != 0 {
+		w.scalar("status", strconv.Itoa(e.Status))
+	}
+	if e.ExitCode != nil {
+		w.scalar("exit_code", strconv.Itoa(*e.ExitCode))
+	}
+	if e.State != "" {
+		w.scalar("state", e.State)
+	}
+	if e.Verdict != "" {
+		w.scalar("verdict", e.Verdict)
+	}
+	if e.ErrorClass != "" {
+		w.scalar("error_class", e.ErrorClass)
+	}
+	if e.Deduped != nil {
+		w.scalar("deduped", strconv.FormatBool(*e.Deduped))
+	}
+	if e.RetryAfter != nil {
+		w.scalar("retry_after", strconv.FormatBool(*e.RetryAfter))
+	}
+	if len(e.Report) > 0 {
+		w.line("report:")
+		w.indent += 2
+		for _, k := range sortedKeys(e.Report) {
+			w.scalar(k, e.Report[k])
+		}
+		w.indent -= 2
+	}
+	if len(e.Metrics) > 0 {
+		w.line("metrics:")
+		w.indent += 2
+		for _, k := range sortedKeys(e.Metrics) {
+			w.scalar(k, strconv.FormatInt(e.Metrics[k], 10))
+		}
+		w.indent -= 2
+	}
+	if e.Calls != nil {
+		w.line("calls:")
+		w.indent += 2
+		w.scalar("min", strconv.Itoa(e.Calls.Min))
+		if e.Calls.Max >= 0 {
+			w.scalar("max", strconv.Itoa(e.Calls.Max))
+		}
+		w.indent -= 2
+	}
+	w.indent -= 2
+}
+
+func (e *Expect) isZero() bool {
+	return e.Status == 0 && e.ExitCode == nil && e.State == "" &&
+		e.Verdict == "" && e.ErrorClass == "" && e.Deduped == nil &&
+		e.RetryAfter == nil && len(e.Report) == 0 && len(e.Metrics) == 0 &&
+		e.Calls == nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,424 @@
+package scenario
+
+// yaml.go — a minimal YAML-subset reader. The repo is dependency-free by
+// policy (go.mod has zero requires), so scenario files are written in the
+// small, regular slice of YAML this parser accepts rather than pulling in
+// a full YAML library:
+//
+//   - block mappings (`key: value`, two-space indent for nesting)
+//   - block sequences (`- item`, including `- key: value` inline maps)
+//   - literal block scalars (`key: |` — how manifests are embedded)
+//   - flow sequences of scalars (`[a, b, c]`)
+//   - double- and single-quoted strings, full-line and trailing comments
+//
+// Everything parses into map[string]any / []any / string; the typed
+// decode in scenario.go converts scalars to ints and bools where the
+// schema wants them, so the reader itself stays schema-free. Anchors,
+// aliases, multi-document streams, folded scalars and flow mappings are
+// deliberately rejected — scenarios that need them should not exist.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type yamlLine struct {
+	num    int // 1-based source line, for errors
+	indent int
+	text   string // content with indent stripped, comments removed
+	raw    string // original content with indent stripped (block scalars)
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+func parseYAML(src string) (any, error) {
+	p := &yamlParser{}
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed, use spaces", i+1)
+		}
+		indent := len(raw) - len(strings.TrimLeft(raw, " "))
+		content := raw[indent:]
+		text := stripComment(content)
+		p.lines = append(p.lines, yamlLine{num: i + 1, indent: indent, text: text, raw: content})
+	}
+	p.skipBlank()
+	if p.pos >= len(p.lines) {
+		return map[string]any{}, nil
+	}
+	v, err := p.parseBlock(p.lines[p.pos].indent)
+	if err != nil {
+		return nil, err
+	}
+	p.skipBlank()
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected content %q (bad indentation?)", p.lines[p.pos].num, p.lines[p.pos].text)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing comment: a '#' at the start or preceded
+// by a space, outside any quoted region.
+func stripComment(s string) string {
+	var inS, inD bool
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inD:
+			inS = !inS
+		case r == '"' && !inS:
+			inD = !inD
+		case r == '#' && !inS && !inD && (i == 0 || s[i-1] == ' '):
+			return strings.TrimRight(s[:i], " ")
+		}
+	}
+	return strings.TrimRight(s, " ")
+}
+
+func (p *yamlParser) skipBlank() {
+	for p.pos < len(p.lines) && p.lines[p.pos].text == "" {
+		p.pos++
+	}
+}
+
+// peek returns the next structural line without consuming it.
+func (p *yamlParser) peek() (yamlLine, bool) {
+	save := p.pos
+	p.skipBlank()
+	if p.pos >= len(p.lines) {
+		p.pos = save
+		return yamlLine{}, false
+	}
+	l := p.lines[p.pos]
+	p.pos = save
+	return l, true
+}
+
+// parseBlock parses the sequence or mapping whose entries sit at exactly
+// `ind` and stops at the first structural line with smaller indent.
+func (p *yamlParser) parseBlock(ind int) (any, error) {
+	l, ok := p.peek()
+	if !ok || l.indent < ind {
+		return "", nil
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseSequence(ind)
+	}
+	return p.parseMapping(ind, nil)
+}
+
+func (p *yamlParser) parseSequence(ind int) (any, error) {
+	var out []any
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != ind || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			return out, nil
+		}
+		p.skipBlank()
+		p.pos++ // consume the "- " line
+		item := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		switch {
+		case item == "":
+			// `-` alone: the value is the nested block below.
+			v, err := p.parseChild(ind)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		case isMappingStart(item):
+			// `- key: ...`: an inline mapping whose remaining entries sit
+			// two columns deeper than the dash.
+			first := yamlLine{num: l.num, indent: ind + 2, text: item, raw: item}
+			v, err := p.parseMapping(ind+2, &first)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		default:
+			v, err := parseScalar(item, l.num)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+}
+
+// parseMapping parses entries at exactly `ind`; `first`, when non-nil, is
+// a virtual already-consumed first entry (from a `- key: value` item).
+func (p *yamlParser) parseMapping(ind int, first *yamlLine) (any, error) {
+	out := map[string]any{}
+	handle := func(l yamlLine) error {
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return err
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("yaml line %d: duplicate key %q", l.num, key)
+		}
+		switch {
+		case rest == "":
+			v, err := p.parseChild(ind)
+			if err != nil {
+				return err
+			}
+			out[key] = v
+		case rest == "|" || rest == "|-":
+			v, err := p.parseBlockScalar(ind, rest == "|-")
+			if err != nil {
+				return err
+			}
+			out[key] = v
+		default:
+			v, err := parseScalar(rest, l.num)
+			if err != nil {
+				return err
+			}
+			out[key] = v
+		}
+		return nil
+	}
+	if first != nil {
+		if err := handle(*first); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent < ind {
+			return out, nil
+		}
+		if l.indent > ind {
+			return nil, fmt.Errorf("yaml line %d: unexpected indent %d (mapping is at %d)", l.num, l.indent, ind)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("yaml line %d: sequence item inside a mapping", l.num)
+		}
+		p.skipBlank()
+		p.pos++
+		if err := handle(l); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseChild parses the block nested under an entry at `ind`: the next
+// structural line must be deeper; if it is not, the value is empty.
+func (p *yamlParser) parseChild(ind int) (any, error) {
+	l, ok := p.peek()
+	if !ok || l.indent <= ind {
+		return "", nil
+	}
+	return p.parseBlock(l.indent)
+}
+
+// parseBlockScalar gathers the literal block under a `key: |` entry at
+// `ind`: every following line deeper than `ind` (blank lines included),
+// de-indented by the block's first-line indent.
+func (p *yamlParser) parseBlockScalar(ind int, strip bool) (string, error) {
+	var body []string
+	blockInd := -1
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.raw == "" { // blank line inside (or trailing) the block
+			body = append(body, "")
+			p.pos++
+			continue
+		}
+		if l.indent <= ind {
+			break
+		}
+		if blockInd < 0 {
+			blockInd = l.indent
+		}
+		if l.indent < blockInd {
+			return "", fmt.Errorf("yaml line %d: block scalar line dedented below its first line", l.num)
+		}
+		body = append(body, strings.Repeat(" ", l.indent-blockInd)+l.raw)
+		p.pos++
+	}
+	// Trailing blank lines belong to the document, not the scalar.
+	for len(body) > 0 && body[len(body)-1] == "" {
+		body = body[:len(body)-1]
+	}
+	s := strings.Join(body, "\n")
+	if !strip && s != "" {
+		s += "\n" // literal style keeps exactly one final newline
+	}
+	return s, nil
+}
+
+// isMappingStart reports whether a sequence-item body begins a mapping
+// (`key: value` or `key:`), i.e. has a colon outside quotes followed by a
+// space or end of line.
+func isMappingStart(s string) bool {
+	var inS, inD bool
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inD:
+			inS = !inS
+		case r == '"' && !inS:
+			inD = !inD
+		case r == ':' && !inS && !inD:
+			if i+1 == len(s) || s[i+1] == ' ' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func splitKey(l yamlLine) (key, rest string, err error) {
+	var inS, inD bool
+	for i, r := range l.text {
+		switch {
+		case r == '\'' && !inD:
+			inS = !inS
+		case r == '"' && !inS:
+			inD = !inD
+		case r == ':' && !inS && !inD:
+			if i+1 == len(l.text) {
+				return unquoteKey(l.text[:i], l.num)
+			}
+			if l.text[i+1] == ' ' {
+				key, _, err := unquoteKey(l.text[:i], l.num)
+				return key, strings.TrimSpace(l.text[i+1:]), err
+			}
+		}
+	}
+	return "", "", fmt.Errorf("yaml line %d: expected `key: value`, got %q", l.num, l.text)
+}
+
+func unquoteKey(s string, num int) (string, string, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, `"`) || strings.HasPrefix(s, "'") {
+		v, err := parseScalar(s, num)
+		if err != nil {
+			return "", "", err
+		}
+		return v.(string), "", nil
+	}
+	return s, "", nil
+}
+
+// parseScalar interprets an inline value: flow sequence, quoted string or
+// plain string. Type coercion is the typed decoder's job.
+func parseScalar(s string, num int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow sequence %q", num, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, part := range splitFlow(inner) {
+			v, err := parseScalar(part, num)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case strings.HasPrefix(s, `"`):
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yaml line %d: bad quoted string %s: %v", num, s, err)
+		}
+		return v, nil
+	case strings.HasPrefix(s, "'"):
+		if len(s) < 2 || !strings.HasSuffix(s, "'") {
+			return nil, fmt.Errorf("yaml line %d: unterminated single-quoted string %s", num, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	default:
+		return s, nil
+	}
+}
+
+// splitFlow splits a flow-sequence body on commas outside quotes.
+func splitFlow(s string) []string {
+	var out []string
+	var inS, inD bool
+	start := 0
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inD:
+			inS = !inS
+		case r == '"' && !inS:
+			inD = !inD
+		case r == ',' && !inS && !inD:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// --- writer ---------------------------------------------------------
+
+// yamlWriter emits the same subset the reader accepts, with deterministic
+// field order (the caller controls order by emission sequence). Record
+// mode and scenario normalization both write through it, so a recorded
+// file replays byte-identically.
+type yamlWriter struct {
+	b      strings.Builder
+	indent int
+}
+
+func (w *yamlWriter) line(format string, args ...any) {
+	w.b.WriteString(strings.Repeat(" ", w.indent))
+	fmt.Fprintf(&w.b, format, args...)
+	w.b.WriteByte('\n')
+}
+
+// scalar writes `key: value`, quoting the value only when the plain form
+// would not round-trip.
+func (w *yamlWriter) scalar(key, val string) {
+	w.line("%s: %s", key, quoteIfNeeded(val))
+}
+
+// block writes `key: |` with the literal body indented one level deeper.
+func (w *yamlWriter) block(key, body string) {
+	w.line("%s: |", key)
+	pad := strings.Repeat(" ", w.indent+2)
+	for _, l := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if l == "" {
+			w.b.WriteByte('\n')
+			continue
+		}
+		w.b.WriteString(pad)
+		w.b.WriteString(l)
+		w.b.WriteByte('\n')
+	}
+}
+
+// flow writes `key: [a, b, c]`.
+func (w *yamlWriter) flow(key string, vals []string) {
+	q := make([]string, len(vals))
+	for i, v := range vals {
+		q[i] = quoteIfNeeded(v)
+	}
+	w.line("%s: [%s]", key, strings.Join(q, ", "))
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	plain := !strings.ContainsAny(s, ":#\"'[]{}\n\t") &&
+		s == strings.TrimSpace(s) &&
+		!strings.HasPrefix(s, "-") &&
+		!strings.HasPrefix(s, "|")
+	if plain {
+		return s
+	}
+	return strconv.Quote(s)
+}

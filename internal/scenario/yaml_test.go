@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseYAMLStructure(t *testing.T) {
+	src := `
+# a scenario-shaped document
+name: demo
+mode: daemon   # trailing comment
+faults: seed=42,burst=2,kinds=status+reset
+checks: [determinism, idempotence]
+steps:
+  - name: first
+    action: submit
+    manifest: |
+      package {'ntp': ensure => present }
+      file {'/etc/ntp.conf':
+        content => 'server pool.ntp.org',
+      }
+    expect:
+      status: 202
+      report:
+        determinism.ok: "true"
+      calls:
+        min: 1
+        max: 12
+  - name: second
+    action: drain
+  - plain-item
+`
+	v, err := parseYAML(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := v.(map[string]any)
+	if root["name"] != "demo" || root["mode"] != "daemon" {
+		t.Fatalf("scalars: %v / %v", root["name"], root["mode"])
+	}
+	if root["faults"] != "seed=42,burst=2,kinds=status+reset" {
+		t.Fatalf("faults: %q", root["faults"])
+	}
+	if !reflect.DeepEqual(root["checks"], []any{"determinism", "idempotence"}) {
+		t.Fatalf("flow list: %#v", root["checks"])
+	}
+	steps := root["steps"].([]any)
+	if len(steps) != 3 {
+		t.Fatalf("steps: %d", len(steps))
+	}
+	first := steps[0].(map[string]any)
+	wantManifest := "package {'ntp': ensure => present }\nfile {'/etc/ntp.conf':\n  content => 'server pool.ntp.org',\n}\n"
+	if first["manifest"] != wantManifest {
+		t.Fatalf("block scalar:\n%q\nwant\n%q", first["manifest"], wantManifest)
+	}
+	expect := first["expect"].(map[string]any)
+	if expect["status"] != "202" {
+		t.Fatalf("nested scalar: %q", expect["status"])
+	}
+	if expect["report"].(map[string]any)["determinism.ok"] != "true" {
+		t.Fatalf("quoted value: %#v", expect["report"])
+	}
+	calls := expect["calls"].(map[string]any)
+	if calls["min"] != "1" || calls["max"] != "12" {
+		t.Fatalf("calls: %#v", calls)
+	}
+	if steps[1].(map[string]any)["action"] != "drain" {
+		t.Fatalf("second step: %#v", steps[1])
+	}
+	if steps[2] != "plain-item" {
+		t.Fatalf("plain sequence item: %#v", steps[2])
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"tab":            "a:\n\tb: 1",
+		"bad indent":     "a: 1\n   b: 2",
+		"seq in map":     "a: 1\n- b",
+		"unterminated [": "a: [1, 2",
+		"unterminated '": "a: 'x",
+		"no colon":       "a: 1\njustaword",
+	}
+	for name, src := range cases {
+		if _, err := parseYAML(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestParseYAMLQuoting(t *testing.T) {
+	v, err := parseYAML("a: \"x: #y\"\nb: 'it''s'\nc: plain text\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["a"] != "x: #y" || m["b"] != "it's" || m["c"] != "plain text" {
+		t.Fatalf("quoting: %#v", m)
+	}
+}
+
+// Every scenario the writer emits must be readable by the reader, and a
+// read-write-read trip must be a fixed point — this is what makes record
+// mode's output replayable.
+func TestScenarioEncodeRoundTrip(t *testing.T) {
+	code := 4
+	yes := true
+	sc := &Scenario{
+		Name:        "round-trip",
+		Description: "writer/reader fixed point",
+		Mode:        ModeCluster,
+		Nodes:       3,
+		Workers:     2,
+		Attempts:    6,
+		Faults:      "seed=7,burst=2,kinds=status+reset",
+		Checks:      []string{"determinism"},
+		Steps: []Step{
+			{
+				Name:     "submit it",
+				Action:   ActionSubmit,
+				Manifest: "package {'ntp': ensure => present }\n\nfile {'/x': content => 'y' }\n",
+				Semantic: true,
+				Node:     1,
+				Wait:     true,
+				Expect: Expect{
+					Status:  202,
+					State:   "done",
+					Verdict: "pass",
+					Report:  map[string]string{"determinism.ok": "true"},
+					Metrics: map[string]int64{"rehearsald_jobs_total": 1},
+					Calls:   &CallBounds{Min: 1, Max: 12},
+				},
+			},
+			{
+				Name:     "no-wait resubmit",
+				Action:   ActionSubmit,
+				Base:     "submit it",
+				Manifest: "package {'ntp': ensure => present }\n",
+				Wait:     false,
+				Expect:   Expect{Deduped: &yes, Calls: &CallBounds{Min: 0, Max: -1}},
+			},
+			{Name: "drain node 0", Action: ActionDrain},
+			{
+				Name:     "rejected",
+				Action:   ActionSubmit,
+				Manifest: "package {'git': ensure => present }\n",
+				Expect:   Expect{Status: 503, RetryAfter: &yes, ExitCode: &code},
+			},
+		},
+	}
+	once := sc.Encode()
+	back, err := Parse(once)
+	if err != nil {
+		t.Fatalf("reader rejected writer output: %v\n%s", err, once)
+	}
+	twice := back.Encode()
+	if once != twice {
+		t.Fatalf("encode not a fixed point:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+	back.dir = sc.dir
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatalf("round trip changed the scenario:\n%#v\nvs\n%#v", sc, back)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 )
 
 // rewriteTransport dials stable advertise hosts via the real listeners.
@@ -71,6 +72,15 @@ type testFleet struct {
 // remote tier is the shared ring.
 func startFleet(t *testing.T, n int, tweak func(i int, cfg *Config)) *testFleet {
 	t.Helper()
+	// Every fleet test doubles as a leak test: snapshot before the fleet
+	// boots and assert settle after the last node has shut down (cleanups
+	// run LIFO, so registering first runs last). The peer client's idle
+	// ring connections are flushed so fd counts return to base.
+	base := leakcheck.Take()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		leakcheck.Assert(t, base)
+	})
 	f := &testFleet{
 		svcs:  make([]*Server, n),
 		ts:    make([]*httptest.Server, n),

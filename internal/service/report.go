@@ -256,6 +256,26 @@ func Classify(err error) *ErrorReport {
 	return rep
 }
 
+// ExitCode maps a report to the CLI's process exit-code classes: 0 every
+// check passed, 1 a check failed (or the manifest is invalid), 3 the
+// analysis timed out or was canceled, 4 infrastructure failure (retrying
+// may succeed). It lives here — not in cmd/rehearsal — so the CLI and
+// the scenario replayer agree on what each code means.
+func ExitCode(rep *Report) int {
+	if rep.Error != nil {
+		switch rep.Error.Class {
+		case ClassTimeout, ClassCanceled:
+			return 3
+		case ClassInfra:
+			return 4
+		}
+	}
+	if rep.Verdict == VerdictPass {
+		return 0
+	}
+	return 1
+}
+
 // BuildReport loads and verifies one manifest under the (already
 // substrate-bound, context-carrying) options, running the checks the
 // request names. It never returns an error: failures land in the report's

@@ -50,6 +50,11 @@ func New(cfg Config) (*Server, error) {
 // scheduler without HTTP).
 func (s *Server) Submit(req JobRequest) (*Job, bool, error) { return s.sched.submit(req) }
 
+// Job returns a live job by id. The scenario engine and the soak rig
+// wait on Job.Done instead of polling the HTTP surface, which keeps
+// their latency measurements free of polling quantization.
+func (s *Server) Job(id string) (*Job, bool) { return s.sched.store.get(id) }
+
 // Metrics returns the live counter set.
 func (s *Server) MetricsText() string {
 	var b strings.Builder
@@ -148,6 +153,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
+		// Draining is as transient as a full queue — a rolling restart
+		// replaces the process — so the 503 carries the same backoff hint
+		// as the 429, letting clients retry against the successor.
+		w.Header().Set("Retry-After", retryAfter(s.sched.met))
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	case err != nil:

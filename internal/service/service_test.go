@@ -12,13 +12,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/leakcheck"
 	"repro/internal/pkgdb"
 )
 
@@ -47,6 +51,14 @@ package {'gcc': ensure => present }
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	// Snapshot before anything is spawned; the matching Assert is
+	// registered first so it runs last, after the server and scheduler
+	// have been torn down — every test through this helper is a leak test.
+	base := leakcheck.Take()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		leakcheck.Assert(t, base)
+	})
 	svc, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -659,5 +671,179 @@ func TestBaseValidation(t *testing.T) {
 	_, status = postJob(t, ts, JobRequest{Manifest: okManifest, Base: "x", BaseManifest: okManifest})
 	if status != http.StatusBadRequest {
 		t.Errorf("base + base_manifest: status %d, want 400", status)
+	}
+}
+
+// rawSubmit posts a job and returns the status plus the response headers,
+// for header-level contracts (Retry-After) that postJob hides.
+func rawSubmit(t *testing.T, ts *httptest.Server, req JobRequest) (int, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// Both rejection modes are transient from the client's point of view, so
+// both must carry a parseable Retry-After backoff hint and each must be
+// counted under its own /metrics series.
+func TestRejectionsCarryRetryAfterAndCount(t *testing.T) {
+	gp := newGateProvider()
+	sub, err := core.NewSubstrate(core.SubstrateConfig{Provider: gp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Substrate: sub})
+
+	// One job running (held at the provider gate), one filling the queue.
+	viewA, _ := postJob(t, ts, detOnly(pkgManifest("ntp")))
+	jobA, ok := svc.Job(viewA.ID)
+	if !ok {
+		t.Fatalf("job %s not found", viewA.ID)
+	}
+	waitRunning(t, jobA)
+	postJob(t, ts, detOnly(pkgManifest("git")))
+
+	assertRetryAfter := func(hdr http.Header, label string) {
+		t.Helper()
+		ra := hdr.Get("Retry-After")
+		if ra == "" {
+			t.Fatalf("%s response has no Retry-After header", label)
+		}
+		secs, err := strconv.Atoi(ra)
+		if err != nil || secs < 1 || secs > 60 {
+			t.Fatalf("%s Retry-After = %q, want integer seconds in [1,60]", label, ra)
+		}
+	}
+
+	status, hdr := rawSubmit(t, ts, detOnly(pkgManifest("gcc")))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("submit with full queue: status %d, want 429", status)
+	}
+	assertRetryAfter(hdr, "429")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	status, hdr = rawSubmit(t, ts, detOnly(pkgManifest("make")))
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("submit while drained: status %d, want 503", status)
+	}
+	assertRetryAfter(hdr, "503")
+
+	scrape := scrapeMetrics(t, ts)
+	if n := metricValue(t, scrape, "rehearsald_admission_rejects_total"); n != 1 {
+		t.Errorf("admission_rejects_total = %d, want 1", n)
+	}
+	if n := metricValue(t, scrape, "rehearsald_drain_rejects_total"); n != 1 {
+		t.Errorf("drain_rejects_total = %d, want 1", n)
+	}
+}
+
+// Jobs caught by a drain — already running, sitting in the queue, or
+// submitted while the drain is in progress — must land canceled with the
+// structured canceled reason, never failed: "the operator restarted the
+// daemon" and "your manifest is broken" are different client contracts.
+// Exercised at 1 and 8 workers because the drain/queue race interleaves
+// differently when many workers pull from the queue concurrently.
+func TestDrainRaceQueuedJobsCanceledNeverFailed(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			gp := newGateProvider()
+			sub, err := core.NewSubstrate(core.SubstrateConfig{Provider: gp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc, ts := newTestServer(t, Config{Workers: workers, QueueDepth: 32, Substrate: sub})
+
+			// Occupy every worker with a gated job, then stack more behind
+			// them so the drain catches both populations.
+			manifest := func(kind string, i int) JobRequest {
+				return detOnly(fmt.Sprintf("# %s %d\n%s", kind, i, pkgManifest("ntp")))
+			}
+			ids := make([]string, 0, workers+8)
+			for i := 0; i < workers; i++ {
+				view, _ := postJob(t, ts, manifest("running", i))
+				job, ok := svc.Job(view.ID)
+				if !ok {
+					t.Fatalf("job %s not found", view.ID)
+				}
+				waitRunning(t, job)
+				ids = append(ids, view.ID)
+			}
+			for i := 0; i < 8; i++ {
+				view, status := postJob(t, ts, manifest("queued", i))
+				if status != http.StatusAccepted {
+					t.Fatalf("queue fill %d: status %d, want 202", i, status)
+				}
+				ids = append(ids, view.ID)
+			}
+
+			// Race more submissions against the drain itself: each must be
+			// either rejected outright (503) or accepted and then canceled.
+			raced := make(chan string, 4)
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					body, err := json.Marshal(manifest("raced", i))
+					if err != nil {
+						return
+					}
+					resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+					if err != nil {
+						return
+					}
+					defer resp.Body.Close()
+					var view JobView
+					if resp.StatusCode == http.StatusAccepted && json.NewDecoder(resp.Body).Decode(&view) == nil {
+						raced <- view.ID
+					}
+				}()
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			if err := svc.Shutdown(ctx); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			wg.Wait()
+			close(raced)
+			for id := range raced {
+				ids = append(ids, id)
+			}
+
+			for _, id := range ids {
+				view := getJob(t, ts, id)
+				if view.State == JobFailed {
+					t.Fatalf("job %s failed during drain; reason %+v — drains must cancel, not fail", id, view.Reason)
+				}
+				if view.State != JobCanceled {
+					t.Errorf("job %s state %s, want canceled", id, view.State)
+					continue
+				}
+				if view.Reason == nil {
+					t.Errorf("canceled job %s has no structured reason", id)
+					continue
+				}
+				if view.Reason.Class != ClassCanceled {
+					t.Errorf("canceled job %s reason class %q, want %q", id, view.Reason.Class, ClassCanceled)
+				}
+			}
+		})
 	}
 }

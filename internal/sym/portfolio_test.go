@@ -9,33 +9,12 @@ package sym
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"testing"
-	"time"
 
 	"repro/internal/fs"
+	"repro/internal/leakcheck"
 	"repro/internal/sat"
 )
-
-// settleGoroutines fails the test if the goroutine count does not settle
-// back to (roughly) base within a deadline — race legs are joined before
-// the race returns, so only runtime helpers may remain.
-func settleGoroutines(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= base+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			m := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: %d, started with %d\n%s", n, base, buf[:m])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
 
 // mkdirIfMissing is the package-model idiom: create the directory only
 // when absent, so two installations of it commute.
@@ -124,7 +103,7 @@ func TestPortfolioCanonicalWitness(t *testing.T) {
 func TestPortfolioLoserCancellationNoLeaks(t *testing.T) {
 	e1, e2 := heavyCommutingPair(12)
 	cfgs := sat.PortfolioConfigs(4)
-	base := runtime.NumGoroutine()
+	base := leakcheck.Take()
 	for round := 0; round < 20; round++ {
 		k := 2 + round%3 // 2, 3, 4
 		ok, cex, _, err := PortfolioCommutes(e1, e2, cfgs[:k], Options{})
@@ -135,7 +114,7 @@ func TestPortfolioLoserCancellationNoLeaks(t *testing.T) {
 			t.Fatalf("round %d: disjoint-file pair must commute", round)
 		}
 	}
-	settleGoroutines(t, base)
+	leakcheck.Assert(t, base)
 }
 
 // Racing over warm pooled sessions (the engine's path) must behave the
@@ -163,7 +142,7 @@ func TestRaceSessionsReusableNoLeaks(t *testing.T) {
 	}
 	single := NewSession(v)
 
-	base := runtime.NumGoroutine()
+	base := leakcheck.Take()
 	for round := 0; round < 6; round++ {
 		// Alternate a commuting and a non-commuting query through the SAME
 		// sessions: a scope leaked by a race would poison the next query.
@@ -197,14 +176,14 @@ func TestRaceSessionsReusableNoLeaks(t *testing.T) {
 			t.Fatalf("round %d: race witness differs from session witness", round)
 		}
 	}
-	settleGoroutines(t, base)
+	leakcheck.Assert(t, base)
 }
 
 // When every leg exhausts its budget the race reports ErrBudget with a
 // winnerless outcome — and still joins all goroutines.
 func TestPortfolioBudgetExhausted(t *testing.T) {
 	e1, e2 := heavyCommutingPair(12)
-	base := runtime.NumGoroutine()
+	base := leakcheck.Take()
 	ok, cex, w, err := PortfolioCommutes(e1, e2, sat.PortfolioConfigs(4), Options{Budget: 1})
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("got (%v, %v, %d, %v), want ErrBudget", ok, cex, w, err)
@@ -212,5 +191,5 @@ func TestPortfolioBudgetExhausted(t *testing.T) {
 	if w != -1 {
 		t.Errorf("winner index = %d on budget exhaustion, want -1", w)
 	}
-	settleGoroutines(t, base)
+	leakcheck.Assert(t, base)
 }
